@@ -1,0 +1,26 @@
+//! Ransomware attack models — the paper's §3 *Ransomware 2.0* actors.
+//!
+//! The paper characterises each attack purely by its I/O behaviour, which is
+//! exactly what these actors reproduce against any
+//! [`BlockDevice`](rssd_ssd::BlockDevice):
+//!
+//! * [`ClassicRansomware`] — read → encrypt → overwrite, fast.
+//! * [`GcAttack`] — encrypt, then flood the device with fresh data to force
+//!   garbage collection and evict retained originals.
+//! * [`TimingAttack`] — encrypt a few pages per hour, hidden inside benign
+//!   background traffic, to stay under window-based detectors and outlast
+//!   bounded retention.
+//! * [`TrimAttack`] — exfiltrate-encrypt to new locations (or just destroy),
+//!   then `trim` the originals so the SSD physically releases them.
+//!
+//! [`fs`] provides the file-extent layer that gives the actors "files" to
+//! hold hostage, and [`eval`] scores a defense against an attack outcome
+//! (the machinery behind Table 1).
+
+pub mod actors;
+pub mod eval;
+pub mod fs;
+
+pub use actors::{AttackOutcome, ClassicRansomware, GcAttack, TimingAttack, TrimAttack};
+pub use eval::{evaluate_recovery, DefenseOutcome, RecoveryGrade};
+pub use fs::{FileMeta, FileTable};

@@ -1,0 +1,110 @@
+//! **Ablation**: design choices DESIGN.md calls out.
+//!
+//! 1. GC victim-selection policy (greedy vs cost-benefit) under skewed trace
+//!    replay — WAF and erase counts.
+//! 2. Offload segment size — compression ratio and segments/offload volume
+//!    trade-off (larger segments compress better and amortize acks, but
+//!    hold pins longer).
+
+use criterion::{criterion_group, Criterion};
+use rssd_bench::bench_geometry;
+use rssd_core::{LoopbackTarget, RssdConfig, RssdDevice};
+use rssd_flash::{NandArray, NandTiming, SimClock};
+use rssd_ftl::{Ftl, FtlConfig, GcPolicy};
+use rssd_ssd::BlockDevice;
+use rssd_trace::{IoOp, TraceProfile};
+
+const OPS: usize = 25_000;
+
+fn run_policy(policy: GcPolicy) -> (f64, u64) {
+    let g = bench_geometry();
+    let nand = NandArray::with_clock(g, NandTiming::instant(), SimClock::new());
+    let mut ftl = Ftl::new(
+        nand,
+        FtlConfig {
+            gc_policy: policy,
+            ..FtlConfig::default()
+        },
+    );
+    let profile = TraceProfile::by_name("usr").unwrap();
+    for rec in profile
+        .workload(ftl.logical_pages(), g.page_size, 3)
+        .take(OPS)
+    {
+        if rec.op != IoOp::Write {
+            continue;
+        }
+        for i in 0..u64::from(rec.pages) {
+            let lpa = rec.lpa + i;
+            if lpa < ftl.logical_pages() {
+                ftl.write(lpa, vec![(rec.payload_seed ^ i) as u8; g.page_size])
+                    .unwrap();
+            }
+        }
+        ftl.drain_stale_events();
+    }
+    (
+        ftl.stats().write_amplification(),
+        ftl.nand_stats().erases(),
+    )
+}
+
+fn run_segment_size(segment_pages: usize) -> (f64, u64) {
+    let g = bench_geometry();
+    let mut d = RssdDevice::new(
+        g,
+        NandTiming::instant(),
+        SimClock::new(),
+        RssdConfig {
+            segment_pages,
+            ..RssdConfig::default()
+        },
+        LoopbackTarget::new(),
+    );
+    let profile = TraceProfile::by_name("src").unwrap();
+    let records: Vec<_> = profile
+        .workload(d.logical_pages(), d.page_size(), 5)
+        .take(10_000)
+        .collect();
+    rssd_trace::replay(&mut d, records);
+    d.flush_log().unwrap();
+    let stats = d.offload_stats();
+    (stats.compression_ratio(), stats.segments_offloaded)
+}
+
+fn print_tables() {
+    println!("\n=== Ablation A: GC victim-selection policy (usr trace, {OPS} ops) ===");
+    println!("{:<14} {:>8} {:>10}", "Policy", "WAF", "Erases");
+    for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit] {
+        let (waf, erases) = run_policy(policy);
+        println!("{:<14} {:>8.3} {:>10}", format!("{policy:?}"), waf, erases);
+    }
+
+    println!("\n=== Ablation B: offload segment size (src trace) ===");
+    println!(
+        "{:<16} {:>12} {:>10}",
+        "Segment pages", "Comp ratio", "Segments"
+    );
+    for pages in [8usize, 32, 128] {
+        let (ratio, segments) = run_segment_size(pages);
+        println!("{:<16} {:>12.2}x {:>9}", pages, ratio, segments);
+    }
+    println!();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_ablation");
+    group.sample_size(10);
+    group.bench_function("greedy_usr_trace", |b| {
+        b.iter(|| run_policy(GcPolicy::Greedy))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+
+fn main() {
+    print_tables();
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -1,0 +1,79 @@
+//! **E4**: the "minimal impact on device lifetime" claim.
+//!
+//! Device lifetime is governed by erase counts and write amplification.
+//! RSSD retains stale pages *in place* until offload (no extra migration
+//! writes), so its WAF and erase counts should track the plain SSD closely.
+//! The contrast case is the LocalSSD baseline under capacity pressure,
+//! whose pinning perturbs GC much more.
+
+use criterion::{criterion_group, Criterion};
+use rssd_bench::{bench_geometry, mk_plain, mk_rssd};
+use rssd_flash::{NandTiming, SimClock};
+use rssd_ssd::BlockDevice;
+use rssd_trace::{replay, TraceProfile};
+
+const OPS: usize = 30_000;
+
+struct LifetimeRow {
+    waf: f64,
+    erases: u64,
+    host_pages: u64,
+}
+
+fn run_plain(profile: &TraceProfile) -> LifetimeRow {
+    let g = bench_geometry();
+    let mut d = mk_plain(g, NandTiming::instant(), SimClock::new());
+    let recs = profile.workload(d.logical_pages(), d.page_size(), 3).take(OPS);
+    replay(&mut d, recs);
+    LifetimeRow {
+        waf: d.ftl_stats().write_amplification(),
+        erases: d.nand_stats().erases(),
+        host_pages: d.ftl_stats().host_pages_written,
+    }
+}
+
+fn run_rssd(profile: &TraceProfile) -> LifetimeRow {
+    let g = bench_geometry();
+    let mut d = mk_rssd(g, NandTiming::instant(), SimClock::new());
+    let recs = profile.workload(d.logical_pages(), d.page_size(), 3).take(OPS);
+    replay(&mut d, recs);
+    LifetimeRow {
+        waf: d.ftl_stats().write_amplification(),
+        erases: d.nand_stats().erases(),
+        host_pages: d.ftl_stats().host_pages_written,
+    }
+}
+
+fn print_table() {
+    println!("\n=== E4: device lifetime impact (WAF + erases) ===");
+    println!(
+        "{:<10} {:>11} {:>11} {:>12} {:>12} {:>10}",
+        "Trace", "Plain WAF", "RSSD WAF", "Plain erases", "RSSD erases", "Host pages"
+    );
+    for name in ["hm", "src", "usr", "mail"] {
+        let profile = TraceProfile::by_name(name).unwrap();
+        let plain = run_plain(&profile);
+        let rssd = run_rssd(&profile);
+        println!(
+            "{:<10} {:>11.3} {:>11.3} {:>12} {:>12} {:>10}",
+            name, plain.waf, rssd.waf, plain.erases, rssd.erases, rssd.host_pages
+        );
+    }
+    println!("Paper claim: minimal lifetime impact (WAF/erases track the plain SSD).\n");
+}
+
+fn bench_lifetime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lifetime");
+    group.sample_size(10);
+    let profile = TraceProfile::by_name("hm").unwrap();
+    group.bench_function("rssd_trace_hm", |b| b.iter(|| run_rssd(&profile).waf));
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifetime);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default().final_summary();
+}

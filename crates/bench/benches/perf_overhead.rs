@@ -1,0 +1,114 @@
+//! **E3**: the "<1 % impact on local storage performance" claim.
+//!
+//! Replays fio-like microbenchmark patterns (4 KiB random/sequential
+//! read/write) and a mixed trace against the plain SSD and RSSD with the
+//! realistic MLC timing model, and compares mean request latency. RSSD's
+//! logging is metadata-only on the write path and its offload reads are
+//! background-scheduled, so the overhead should be ~0 — matching the paper.
+
+use criterion::{criterion_group, Criterion};
+use rssd_bench::{bench_geometry, mk_plain, mk_rssd};
+use rssd_flash::{NandTiming, SimClock};
+use rssd_ssd::BlockDevice;
+use rssd_trace::{replay, IoRecord, PayloadKind, TraceProfile, WorkloadBuilder};
+
+const OPS: usize = 4_000;
+
+fn pattern(name: &str, logical_pages: u64) -> Vec<IoRecord> {
+    let builder = WorkloadBuilder::new(logical_pages)
+        .seed(11)
+        .ops_per_second(5_000.0)
+        .mean_request_pages(1);
+    let builder = match name {
+        "randwrite" => builder.read_fraction(0.0).sequential_fraction(0.0),
+        "randread" => builder.read_fraction(1.0).sequential_fraction(0.0),
+        "seqwrite" => builder.read_fraction(0.0).sequential_fraction(1.0),
+        "seqread" => builder.read_fraction(1.0).sequential_fraction(1.0),
+        "mixed" => builder.read_fraction(0.5).sequential_fraction(0.3),
+        other => panic!("unknown pattern {other}"),
+    };
+    // Prepend a warm-up fill so reads hit mapped pages.
+    let mut records: Vec<IoRecord> = (0..logical_pages.min(2048))
+        .map(|lpa| IoRecord::write(0, lpa, PayloadKind::Binary, lpa))
+        .collect();
+    records.extend(builder.build().take(OPS));
+    records
+}
+
+fn mean_latency<D: BlockDevice>(device: &mut D, records: Vec<IoRecord>, latency: impl Fn(&D) -> f64) -> f64 {
+    replay(device, records);
+    latency(device)
+}
+
+fn print_comparison() {
+    println!("\n=== E3: storage performance overhead (MLC timing) ===");
+    println!(
+        "{:<10} {:>14} {:>14} {:>10}",
+        "Pattern", "Plain (µs)", "RSSD (µs)", "Overhead"
+    );
+    let g = bench_geometry();
+    for name in ["randwrite", "randread", "seqwrite", "seqread", "mixed"] {
+        let mut plain = mk_plain(g, NandTiming::mlc_default(), SimClock::new());
+        let recs = pattern(name, plain.logical_pages());
+        let plain_lat = mean_latency(&mut plain, recs, |d| d.latency().mean_ns());
+        let mut rssd = mk_rssd(g, NandTiming::mlc_default(), SimClock::new());
+        let recs = pattern(name, rssd.logical_pages());
+        let rssd_lat = mean_latency(&mut rssd, recs, |d| d.latency().mean_ns());
+        let overhead = (rssd_lat - plain_lat) / plain_lat * 100.0;
+        println!(
+            "{:<10} {:>14.1} {:>14.1} {:>9.2}%",
+            name,
+            plain_lat / 1000.0,
+            rssd_lat / 1000.0,
+            overhead
+        );
+    }
+    // Trace-driven comparison on one profile.
+    let profile = TraceProfile::by_name("src").unwrap();
+    let mut plain = mk_plain(g, NandTiming::mlc_default(), SimClock::new());
+    let recs: Vec<IoRecord> = profile
+        .workload(plain.logical_pages(), plain.page_size(), 5)
+        .take(OPS)
+        .collect();
+    replay(&mut plain, recs.clone());
+    let mut rssd = mk_rssd(g, NandTiming::mlc_default(), SimClock::new());
+    replay(&mut rssd, recs);
+    let (p, r) = (plain.latency().mean_ns(), rssd.latency().mean_ns());
+    println!(
+        "{:<10} {:>14.1} {:>14.1} {:>9.2}%",
+        "trace:src",
+        p / 1000.0,
+        r / 1000.0,
+        (r - p) / p * 100.0
+    );
+    println!("Paper claim: < 1% overhead.\n");
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let g = bench_geometry();
+    let mut group = c.benchmark_group("perf_overhead");
+    group.sample_size(10);
+    group.bench_function("plain_4k_randwrite", |b| {
+        b.iter(|| {
+            let mut d = mk_plain(g, NandTiming::mlc_default(), SimClock::new());
+            let recs = pattern("randwrite", d.logical_pages());
+            replay(&mut d, recs);
+        })
+    });
+    group.bench_function("rssd_4k_randwrite", |b| {
+        b.iter(|| {
+            let mut d = mk_rssd(g, NandTiming::mlc_default(), SimClock::new());
+            let recs = pattern("randwrite", d.logical_pages());
+            replay(&mut d, recs);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path);
+
+fn main() {
+    print_comparison();
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -1,0 +1,91 @@
+//! Shared helpers for the RSSD benchmark harness.
+//!
+//! One bench target per paper artifact (see DESIGN.md §3 and
+//! EXPERIMENTS.md). Every bench prints the reproduced table/figure rows to
+//! stdout before running its criterion timings, so `cargo bench` output *is*
+//! the reproduction record.
+
+use rssd_core::{LoopbackTarget, RssdConfig, RssdDevice};
+use rssd_flash::{FlashGeometry, NandTiming, SimClock};
+use rssd_ssd::{FlashGuardSsd, PlainSsd, RetentionMode, RetentionSsd};
+
+/// Geometry used by most benches: 32 MiB, 4 KiB pages (scaled-down stand-in
+/// for the 256 GiB device in the paper; see DESIGN.md on scaling).
+pub fn bench_geometry() -> FlashGeometry {
+    FlashGeometry::with_capacity(32 * 1024 * 1024)
+}
+
+/// A plain (unprotected) SSD on `clock`.
+pub fn mk_plain(geometry: FlashGeometry, timing: NandTiming, clock: SimClock) -> PlainSsd {
+    PlainSsd::new(geometry, timing, clock)
+}
+
+/// A FlashGuard-style SSD on `clock`.
+pub fn mk_flashguard(
+    geometry: FlashGeometry,
+    timing: NandTiming,
+    clock: SimClock,
+) -> FlashGuardSsd {
+    FlashGuardSsd::new(geometry, timing, clock)
+}
+
+/// A LocalSSD / LocalSSD+Compression baseline on `clock`.
+pub fn mk_retention(
+    geometry: FlashGeometry,
+    timing: NandTiming,
+    clock: SimClock,
+    mode: RetentionMode,
+) -> RetentionSsd {
+    RetentionSsd::new(geometry, timing, clock, mode)
+}
+
+/// An RSSD over an in-process remote target on `clock`.
+pub fn mk_rssd(
+    geometry: FlashGeometry,
+    timing: NandTiming,
+    clock: SimClock,
+) -> RssdDevice<LoopbackTarget> {
+    RssdDevice::new(
+        geometry,
+        timing,
+        clock,
+        RssdConfig {
+            segment_pages: 32,
+            ..RssdConfig::default()
+        },
+        LoopbackTarget::new(),
+    )
+}
+
+/// Nanoseconds per simulated day.
+pub const NS_PER_DAY: f64 = 86_400e9;
+
+/// Formats a one-line separator for bench tables.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rssd_ssd::BlockDevice;
+
+    #[test]
+    fn constructors_build_working_devices() {
+        let g = bench_geometry();
+        assert_eq!(g.capacity_bytes(), 32 * 1024 * 1024);
+        let mut plain = mk_plain(g, NandTiming::instant(), SimClock::new());
+        plain.write_page(0, vec![1; 4096]).unwrap();
+        let mut rssd = mk_rssd(g, NandTiming::instant(), SimClock::new());
+        rssd.write_page(0, vec![1; 4096]).unwrap();
+        let mut fg = mk_flashguard(g, NandTiming::instant(), SimClock::new());
+        fg.write_page(0, vec![1; 4096]).unwrap();
+        let mut loc = mk_retention(
+            g,
+            NandTiming::instant(),
+            SimClock::new(),
+            RetentionMode::Compressed,
+        );
+        loc.write_page(0, vec![1; 4096]).unwrap();
+    }
+}

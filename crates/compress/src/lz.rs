@@ -1,0 +1,215 @@
+//! An LZ77-style sliding-window codec.
+//!
+//! Token stream: a control byte whose bits select, LSB-first, between a
+//! literal byte (`0`) and a match (`1`) encoded as a 16-bit little-endian
+//! back-distance (`1..=WINDOW`) plus an 8-bit length (`MIN_MATCH..=255`).
+//! The encoder uses a 3-byte hash chain over a 32 KiB window — the same
+//! family of trade-offs a firmware compressor would make (bounded memory,
+//! single pass).
+
+use crate::DecompressError;
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 255;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// Limit on how many chain entries to probe per position (encoder effort).
+const MAX_PROBES: usize = 32;
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos])
+        | (u32::from(data[pos + 1]) << 8)
+        | (u32::from(data[pos + 2]) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZ77-encodes `data`.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // head[h]: most recent position with hash h (+1, 0 = none); prev: chains.
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; data.len().max(1)];
+
+    let mut pos = 0usize;
+    let mut control_idx: Option<usize> = None;
+    let mut control_bit = 8u8; // force new control byte on first token
+
+    let mut push_token = |out: &mut Vec<u8>, is_match: bool| -> usize {
+        if control_bit == 8 {
+            out.push(0);
+            control_idx = Some(out.len() - 1);
+            control_bit = 0;
+        }
+        let idx = control_idx.expect("control byte exists");
+        if is_match {
+            out[idx] |= 1 << control_bit;
+        }
+        control_bit += 1;
+        idx
+    };
+
+    while pos < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+
+        if pos + MIN_MATCH <= data.len() && data.len() - pos >= 3 {
+            let h = hash3(data, pos);
+            let mut candidate = head[h] as usize;
+            let mut probes = 0;
+            while candidate > 0 && probes < MAX_PROBES {
+                let cand_pos = candidate - 1;
+                if pos - cand_pos > WINDOW {
+                    break;
+                }
+                let limit = (data.len() - pos).min(MAX_MATCH);
+                let mut len = 0usize;
+                while len < limit && data[cand_pos + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand_pos;
+                    if len == limit {
+                        break;
+                    }
+                }
+                candidate = prev[cand_pos] as usize;
+                probes += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            push_token(&mut out, true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push(best_len as u8);
+            // Insert hash entries for all covered positions.
+            let end = pos + best_len;
+            while pos < end {
+                if pos + 3 <= data.len() {
+                    let h = hash3(data, pos);
+                    prev[pos] = head[h];
+                    head[h] = (pos + 1) as u32;
+                }
+                pos += 1;
+            }
+        } else {
+            push_token(&mut out, false);
+            out.push(data[pos]);
+            if pos + 3 <= data.len() {
+                let h = hash3(data, pos);
+                prev[pos] = head[h];
+                head[h] = (pos + 1) as u32;
+            }
+            pos += 1;
+        }
+    }
+    out
+}
+
+/// Decodes an LZ77 payload produced by [`encode`].
+///
+/// # Errors
+///
+/// Returns [`DecompressError::Corrupt`] on truncated tokens, zero distances,
+/// or back-references past the start of the output.
+pub fn decode(payload: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(payload.len() * 2);
+    let mut i = 0usize;
+    while i < payload.len() {
+        let control = payload[i];
+        i += 1;
+        for bit in 0..8 {
+            if i >= payload.len() {
+                break;
+            }
+            if control & (1 << bit) != 0 {
+                if i + 3 > payload.len() {
+                    return Err(DecompressError::Corrupt("truncated match token"));
+                }
+                let dist = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
+                let len = payload[i + 2] as usize;
+                i += 3;
+                if dist == 0 {
+                    return Err(DecompressError::Corrupt("match distance of zero"));
+                }
+                if dist > out.len() {
+                    return Err(DecompressError::Corrupt("match distance before start"));
+                }
+                if len < MIN_MATCH {
+                    return Err(DecompressError::Corrupt("match shorter than minimum"));
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the LZ idiom for runs: copy byte-wise.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                out.push(payload[i]);
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_literals_round_trip() {
+        let data = b"abc";
+        assert_eq!(decode(&encode(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_round_trip_and_shrinks() {
+        let data = b"abcdabcdabcdabcdabcdabcdabcdabcd".repeat(16);
+        let enc = encode(&data);
+        assert!(enc.len() < data.len() / 4, "encoded {} bytes", enc.len());
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_run() {
+        // "aaaa..." forces dist=1, len>1 overlapping copies.
+        let data = vec![b'a'; 1000];
+        let enc = encode(&data);
+        assert!(enc.len() < 32);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn long_input_crossing_window() {
+        let unit: Vec<u8> = (0..97u8).collect();
+        let data: Vec<u8> = unit.iter().cycle().take(100_000).copied().collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn decode_rejects_zero_distance() {
+        // control byte with match bit, dist 0, len 4
+        let payload = [0b0000_0001u8, 0, 0, 4];
+        assert!(decode(&payload).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_distance_past_start() {
+        let payload = [0b0000_0001u8, 5, 0, 4];
+        assert!(decode(&payload).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncated_match() {
+        let payload = [0b0000_0001u8, 1];
+        assert!(decode(&payload).is_err());
+    }
+}

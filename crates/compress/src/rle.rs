@@ -1,0 +1,95 @@
+//! Byte-oriented run-length coding.
+//!
+//! Encoding: a sequence of `(count, byte)` pairs where `count` is `1..=255`.
+//! Zero-filled and trimmed flash pages collapse to a handful of bytes, which
+//! is why the offload engine tries RLE alongside LZ77.
+
+use crate::DecompressError;
+
+/// Run-length encodes `data`.
+pub fn encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut iter = data.iter().copied().peekable();
+    while let Some(byte) = iter.next() {
+        let mut run: u8 = 1;
+        while run < u8::MAX {
+            match iter.peek() {
+                Some(&next) if next == byte => {
+                    iter.next();
+                    run += 1;
+                }
+                _ => break,
+            }
+        }
+        out.push(run);
+        out.push(byte);
+    }
+    out
+}
+
+/// Decodes a run-length payload.
+///
+/// # Errors
+///
+/// Returns [`DecompressError::Corrupt`] on an odd-length payload or a zero
+/// run count.
+pub fn decode(payload: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if payload.len() % 2 != 0 {
+        return Err(DecompressError::Corrupt("rle payload has odd length"));
+    }
+    let mut out = Vec::new();
+    for pair in payload.chunks_exact(2) {
+        let (count, byte) = (pair[0], pair[1]);
+        if count == 0 {
+            return Err(DecompressError::Corrupt("rle run count of zero"));
+        }
+        out.extend(std::iter::repeat(byte).take(count as usize));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_runs() {
+        assert_eq!(encode(&[0, 0, 0, 1]), vec![3, 0, 1, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(encode(&[]), Vec::<u8>::new());
+        assert_eq!(decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn run_longer_than_255_splits() {
+        let data = vec![9u8; 300];
+        let enc = encode(&data);
+        assert_eq!(enc, vec![255, 9, 45, 9]);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_mixed() {
+        let data = b"aaabbbcccabcabc";
+        assert_eq!(decode(&encode(data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_odd_payload() {
+        assert!(decode(&[1]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_count() {
+        assert!(decode(&[0, 5]).is_err());
+    }
+
+    #[test]
+    fn worst_case_doubles() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(encode(&data).len(), data.len() * 2);
+    }
+}

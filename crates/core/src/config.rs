@@ -1,0 +1,81 @@
+//! RSSD device configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for [`crate::RssdDevice`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RssdConfig {
+    /// Device identity carried in every offloaded segment envelope.
+    pub device_id: u64,
+    /// Seed for the device key hierarchy (factory provisioning stand-in).
+    pub key_seed: u64,
+    /// Build and offload a segment once this many retained pages are
+    /// buffered.
+    pub segment_pages: usize,
+    /// Also offload whenever the pinned fraction of blocks exceeds this
+    /// (capacity-pressure trigger — the GC attack pushes on this).
+    pub pinned_fraction_watermark: f64,
+    /// Log host reads into the evidence chain (metadata only). Costs log
+    /// volume, buys read-before-overwrite evidence for forensics.
+    pub log_reads: bool,
+}
+
+impl Default for RssdConfig {
+    fn default() -> Self {
+        RssdConfig {
+            device_id: 1,
+            key_seed: 0x5553_5344, // "USSD"
+            segment_pages: 64,
+            pinned_fraction_watermark: 0.25,
+            log_reads: true,
+        }
+    }
+}
+
+impl RssdConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_pages == 0 {
+            return Err("segment_pages must be at least 1".to_string());
+        }
+        if !(0.0..1.0).contains(&self.pinned_fraction_watermark) {
+            return Err(format!(
+                "pinned_fraction_watermark {} outside [0, 1)",
+                self.pinned_fraction_watermark
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RssdConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_segment() {
+        let c = RssdConfig {
+            segment_pages: 0,
+            ..RssdConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_watermark() {
+        let c = RssdConfig {
+            pinned_fraction_watermark: 1.5,
+            ..RssdConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

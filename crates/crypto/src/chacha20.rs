@@ -1,0 +1,213 @@
+//! RFC 8439 ChaCha20 stream cipher.
+//!
+//! RSSD encrypts retained pages and log segments with the device offload key
+//! before they cross the NVMe-over-Ethernet link; in the hardware prototype
+//! this is an on-controller crypto engine, here it is a from-scratch ChaCha20.
+
+/// ChaCha20 stream cipher keyed with a 256-bit key and a 96-bit nonce.
+///
+/// Encryption and decryption are the same operation (XOR keystream).
+///
+/// # Examples
+///
+/// ```
+/// use rssd_crypto::chacha20::ChaCha20;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut data = b"retained page payload".to_vec();
+/// ChaCha20::new(&key, &nonce).apply_keystream(&mut data);
+/// assert_ne!(&data[..], b"retained page payload");
+/// ChaCha20::new(&key, &nonce).apply_keystream(&mut data);
+/// assert_eq!(&data[..], b"retained page payload");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+    keystream: [u8; 64],
+    keystream_pos: usize,
+}
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+impl ChaCha20 {
+    /// Creates a cipher with block counter starting at 0.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        Self::with_counter(key, nonce, 0)
+    }
+
+    /// Creates a cipher with an explicit initial block counter (RFC 8439 §2.4
+    /// uses counter 1 for AEAD payloads; RSSD seeks into segment keystreams by
+    /// page index).
+    pub fn with_counter(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] =
+                u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        ChaCha20 {
+            state,
+            keystream: [0u8; 64],
+            keystream_pos: 64,
+        }
+    }
+
+    /// XORs the keystream into `data` in place (encrypts or decrypts).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.keystream_pos == 64 {
+                self.refill();
+            }
+            *byte ^= self.keystream[self.keystream_pos];
+            self.keystream_pos += 1;
+        }
+    }
+
+    /// Convenience: encrypt a buffer, returning a new vector.
+    pub fn encrypt(key: &[u8; 32], nonce: &[u8; 12], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        ChaCha20::new(key, nonce).apply_keystream(&mut out);
+        out
+    }
+
+    /// Convenience: decrypt a buffer, returning a new vector.
+    pub fn decrypt(key: &[u8; 32], nonce: &[u8; 12], ciphertext: &[u8]) -> Vec<u8> {
+        // Symmetric: same keystream XOR.
+        Self::encrypt(key, nonce, ciphertext)
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            self.keystream[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        self.keystream_pos = 0;
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(hex: &str) -> Vec<u8> {
+        hex.as_bytes()
+            .chunks(2)
+            .map(|c| {
+                let hi = (c[0] as char).to_digit(16).expect("hex");
+                let lo = (c[1] as char).to_digit(16).expect("hex");
+                ((hi << 4) | lo) as u8
+            })
+            .collect()
+    }
+
+    // RFC 8439 §2.4.2 test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce_bytes = hex_to_bytes("000000000000004a00000000");
+        let nonce: [u8; 12] = nonce_bytes.as_slice().try_into().expect("12 bytes");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+        let mut data = plaintext.to_vec();
+        ChaCha20::with_counter(&key, &nonce, 1).apply_keystream(&mut data);
+
+        let expected = hex_to_bytes(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    // RFC 8439 §2.3.2: first keystream block with counter 1.
+    #[test]
+    fn rfc8439_block_function_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce_bytes = hex_to_bytes("000000090000004a00000000");
+        let nonce: [u8; 12] = nonce_bytes.as_slice().try_into().expect("12 bytes");
+        let mut zeros = vec![0u8; 64];
+        ChaCha20::with_counter(&key, &nonce, 1).apply_keystream(&mut zeros);
+        let expected = hex_to_bytes(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(zeros, expected);
+    }
+
+    #[test]
+    fn round_trip_at_block_boundaries() {
+        let key = [0xabu8; 32];
+        let nonce = [0x01u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000, 4096] {
+            let plaintext: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let ct = ChaCha20::encrypt(&key, &nonce, &plaintext);
+            if len > 0 {
+                assert_ne!(ct, plaintext, "len {len}");
+            }
+            assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), plaintext, "len {len}");
+        }
+    }
+
+    #[test]
+    fn different_nonces_give_different_ciphertexts() {
+        let key = [9u8; 32];
+        let pt = vec![0u8; 128];
+        let a = ChaCha20::encrypt(&key, &[0u8; 12], &pt);
+        let b = ChaCha20::encrypt(&key, &[1u8; 12], &pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_application_matches_contiguous() {
+        let key = [3u8; 32];
+        let nonce = [5u8; 12];
+        let data: Vec<u8> = (0..300).map(|i| i as u8).collect();
+
+        let whole = ChaCha20::encrypt(&key, &nonce, &data);
+
+        let mut cipher = ChaCha20::new(&key, &nonce);
+        let mut split = data.clone();
+        let (a, b) = split.split_at_mut(100);
+        cipher.apply_keystream(a);
+        cipher.apply_keystream(b);
+        assert_eq!(split, whole);
+    }
+}

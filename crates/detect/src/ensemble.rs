@@ -1,0 +1,207 @@
+//! Detector ensemble and verdicts.
+
+use crate::entropy::EntropyDetector;
+use crate::observation::WriteObservation;
+use crate::pattern::{OverwriteCorrelator, TrimSurgeDetector};
+use crate::timing::TimingProfiler;
+use crate::Detector;
+use serde::{Deserialize, Serialize};
+
+/// Classification produced by the ensemble.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Nothing notable.
+    #[default]
+    Benign,
+    /// Elevated signals; worth flagging for an operator.
+    Suspicious,
+    /// Confident ransomware detection.
+    Ransomware,
+}
+
+/// A weighted ensemble of the four detectors with a maximum-signal fallback:
+/// any single detector at full confidence forces a detection, because the
+/// attacks are designed so that each evades *most* detectors.
+#[derive(Debug)]
+pub struct Ensemble {
+    entropy: EntropyDetector,
+    correlator: OverwriteCorrelator,
+    trim_surge: TrimSurgeDetector,
+    timing: TimingProfiler,
+    observations: u64,
+}
+
+impl Ensemble {
+    /// Builds the default ensemble.
+    pub fn new() -> Self {
+        Ensemble {
+            entropy: EntropyDetector::new(),
+            correlator: OverwriteCorrelator::new(),
+            trim_surge: TrimSurgeDetector::new(),
+            timing: TimingProfiler::new(),
+            observations: 0,
+        }
+    }
+
+    /// Feeds one observation to every member.
+    pub fn observe(&mut self, obs: &WriteObservation) {
+        self.entropy.observe(obs);
+        self.correlator.observe(obs);
+        self.trim_surge.observe(obs);
+        self.timing.observe(obs);
+        self.observations += 1;
+    }
+
+    /// Feeds a batch.
+    pub fn observe_all<'a, I: IntoIterator<Item = &'a WriteObservation>>(&mut self, obs: I) {
+        for o in obs {
+            self.observe(o);
+        }
+    }
+
+    /// Observations consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Combined score: weighted mean with a max-signal floor.
+    pub fn score(&self) -> f64 {
+        let weighted = 0.30 * self.entropy.score()
+            + 0.30 * self.correlator.score()
+            + 0.20 * self.trim_surge.score()
+            + 0.20 * self.timing.score();
+        let strongest = self
+            .member_scores()
+            .into_iter()
+            .map(|(_, s)| s)
+            .fold(0.0f64, f64::max);
+        weighted.max(if strongest >= 0.99 { 0.9 } else { 0.0 })
+    }
+
+    /// Per-member scores (for the forensic report).
+    pub fn member_scores(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            (self.entropy.name(), self.entropy.score()),
+            (self.correlator.name(), self.correlator.score()),
+            (self.trim_surge.name(), self.trim_surge.score()),
+            (self.timing.name(), self.timing.score()),
+        ]
+    }
+
+    /// Current verdict: `Ransomware` at ≥ 0.6, `Suspicious` at ≥ 0.3.
+    pub fn verdict(&self) -> Verdict {
+        let s = self.score();
+        if s >= 0.6 {
+            Verdict::Ransomware
+        } else if s >= 0.3 {
+            Verdict::Suspicious
+        } else {
+            Verdict::Benign
+        }
+    }
+
+    /// Resets all members.
+    pub fn reset(&mut self) {
+        self.entropy.reset();
+        self.correlator.reset();
+        self.trim_surge.reset();
+        self.timing.reset();
+        self.observations = 0;
+    }
+}
+
+impl Default for Ensemble {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_workload_stays_benign() {
+        let mut e = Ensemble::new();
+        for i in 0..5_000u64 {
+            // Mixed fresh writes and low-entropy overwrites, no read
+            // correlation, no trims.
+            if i % 3 == 0 {
+                e.observe(&WriteObservation::overwrite(i * 1000, i % 500, 4.5, false));
+            } else {
+                e.observe(&WriteObservation::fresh_write(i * 1000, 1000 + i, 3.0));
+            }
+        }
+        assert_eq!(e.verdict(), Verdict::Benign, "score {}", e.score());
+    }
+
+    #[test]
+    fn classic_ransomware_detected() {
+        let mut e = Ensemble::new();
+        for i in 0..500u64 {
+            e.observe(&WriteObservation::overwrite(i * 1000, i, 7.9, true));
+        }
+        assert_eq!(e.verdict(), Verdict::Ransomware);
+    }
+
+    #[test]
+    fn trimming_attack_detected_by_surge() {
+        let mut e = Ensemble::new();
+        // Encrypt-to-new-place writes (fresh, evade entropy-overwrite), then
+        // mass trim of originals.
+        for i in 0..300u64 {
+            e.observe(&WriteObservation::fresh_write(i * 1000, 10_000 + i, 7.9));
+            e.observe(&WriteObservation::trim(i * 1000 + 1, i));
+        }
+        assert_eq!(e.verdict(), Verdict::Ransomware);
+    }
+
+    #[test]
+    fn timing_attack_detected_long_horizon() {
+        let mut e = Ensemble::new();
+        let hour = 3_600_000_000_000u64;
+        // Benign background across a large working set.
+        for i in 0..20_000u64 {
+            e.observe(&WriteObservation::fresh_write(i, i, 4.0));
+        }
+        // Slow encryptor: 8 pages/hour for 300 hours, spaced out so
+        // window-based detectors see mostly benign traffic in between.
+        for h in 0..300u64 {
+            for k in 0..8u64 {
+                e.observe(&WriteObservation::overwrite(h * hour, h * 8 + k, 7.9, false));
+            }
+            for b in 0..100u64 {
+                e.observe(&WriteObservation::fresh_write(
+                    h * hour + 1,
+                    30_000 + (h * 100 + b) % 5_000,
+                    4.0,
+                ));
+            }
+        }
+        assert_eq!(
+            e.verdict(),
+            Verdict::Ransomware,
+            "scores {:?}",
+            e.member_scores()
+        );
+    }
+
+    #[test]
+    fn member_scores_exposed() {
+        let e = Ensemble::new();
+        let scores = e.member_scores();
+        assert_eq!(scores.len(), 4);
+        assert!(scores.iter().all(|(_, s)| *s == 0.0));
+    }
+
+    #[test]
+    fn reset_returns_to_benign() {
+        let mut e = Ensemble::new();
+        for i in 0..500u64 {
+            e.observe(&WriteObservation::overwrite(i, i, 7.9, true));
+        }
+        e.reset();
+        assert_eq!(e.verdict(), Verdict::Benign);
+        assert_eq!(e.observations(), 0);
+    }
+}

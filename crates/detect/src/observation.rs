@@ -1,0 +1,76 @@
+//! The detector input record.
+
+use serde::{Deserialize, Serialize};
+
+/// One observed write or trim, as reconstructed from the hardware-assisted
+/// log (or observed inline by an in-device detector baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WriteObservation {
+    /// When the operation was issued.
+    pub at_ns: u64,
+    /// Logical page touched.
+    pub lpa: u64,
+    /// Shannon entropy of the written payload in bits/byte (0 for trims).
+    pub entropy_bits: f64,
+    /// Did this write overwrite a previously valid page?
+    pub overwrote_valid: bool,
+    /// Was the overwritten page read within the correlation window before
+    /// this write (read-encrypt-writeback signature)?
+    pub read_before_overwrite: bool,
+    /// Is this a trim rather than a write?
+    pub is_trim: bool,
+}
+
+impl WriteObservation {
+    /// A benign-looking fresh write.
+    pub fn fresh_write(at_ns: u64, lpa: u64, entropy_bits: f64) -> Self {
+        WriteObservation {
+            at_ns,
+            lpa,
+            entropy_bits,
+            overwrote_valid: false,
+            read_before_overwrite: false,
+            is_trim: false,
+        }
+    }
+
+    /// An overwrite of existing data.
+    pub fn overwrite(at_ns: u64, lpa: u64, entropy_bits: f64, read_before: bool) -> Self {
+        WriteObservation {
+            at_ns,
+            lpa,
+            entropy_bits,
+            overwrote_valid: true,
+            read_before_overwrite: read_before,
+            is_trim: false,
+        }
+    }
+
+    /// A trim of a valid page.
+    pub fn trim(at_ns: u64, lpa: u64) -> Self {
+        WriteObservation {
+            at_ns,
+            lpa,
+            entropy_bits: 0.0,
+            overwrote_valid: true,
+            read_before_overwrite: false,
+            is_trim: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let w = WriteObservation::fresh_write(1, 2, 3.0);
+        assert!(!w.overwrote_valid && !w.is_trim);
+        let o = WriteObservation::overwrite(1, 2, 7.9, true);
+        assert!(o.overwrote_valid && o.read_before_overwrite);
+        let t = WriteObservation::trim(1, 2);
+        assert!(t.is_trim && t.overwrote_valid);
+        assert_eq!(t.entropy_bits, 0.0);
+    }
+}

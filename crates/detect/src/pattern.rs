@@ -1,0 +1,205 @@
+//! I/O-pattern detectors: read-encrypt-writeback correlation and trim
+//! surges.
+
+use crate::observation::WriteObservation;
+use crate::Detector;
+use std::collections::VecDeque;
+
+/// Flags when recent overwrites are dominated by the read-then-overwrite
+/// pattern (the encryptor must read plaintext before writing ciphertext).
+#[derive(Clone, Debug)]
+pub struct OverwriteCorrelator {
+    window: usize,
+    recent: VecDeque<bool>,
+    correlated: usize,
+    min_samples: usize,
+}
+
+impl OverwriteCorrelator {
+    /// Window of 256 overwrites, 32-sample warm-up.
+    pub fn new() -> Self {
+        Self::with_params(256, 32)
+    }
+
+    /// Explicit window and warm-up.
+    pub fn with_params(window: usize, min_samples: usize) -> Self {
+        OverwriteCorrelator {
+            window: window.max(1),
+            recent: VecDeque::new(),
+            correlated: 0,
+            min_samples: min_samples.max(1),
+        }
+    }
+}
+
+impl Default for OverwriteCorrelator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for OverwriteCorrelator {
+    fn name(&self) -> &'static str {
+        "overwrite-correlation"
+    }
+
+    fn observe(&mut self, obs: &WriteObservation) {
+        if obs.is_trim || !obs.overwrote_valid {
+            return;
+        }
+        self.recent.push_back(obs.read_before_overwrite);
+        if obs.read_before_overwrite {
+            self.correlated += 1;
+        }
+        if self.recent.len() > self.window {
+            if self.recent.pop_front() == Some(true) {
+                self.correlated -= 1;
+            }
+        }
+    }
+
+    fn score(&self) -> f64 {
+        if self.recent.len() < self.min_samples {
+            return 0.0;
+        }
+        self.correlated as f64 / self.recent.len() as f64
+    }
+
+    fn reset(&mut self) {
+        self.recent.clear();
+        self.correlated = 0;
+    }
+}
+
+/// Flags a surge of trims of valid data: the trimming attack's second phase
+/// (encrypt to new locations, then trim the originals — or trim directly).
+#[derive(Clone, Debug)]
+pub struct TrimSurgeDetector {
+    window_ns: u64,
+    trim_times: VecDeque<u64>,
+    surge_threshold: usize,
+}
+
+impl TrimSurgeDetector {
+    /// 60-simulated-second window, 128-trim surge threshold.
+    pub fn new() -> Self {
+        Self::with_params(60_000_000_000, 128)
+    }
+
+    /// Explicit window and threshold.
+    pub fn with_params(window_ns: u64, surge_threshold: usize) -> Self {
+        TrimSurgeDetector {
+            window_ns,
+            trim_times: VecDeque::new(),
+            surge_threshold: surge_threshold.max(1),
+        }
+    }
+}
+
+impl Default for TrimSurgeDetector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector for TrimSurgeDetector {
+    fn name(&self) -> &'static str {
+        "trim-surge"
+    }
+
+    fn observe(&mut self, obs: &WriteObservation) {
+        if !obs.is_trim {
+            return;
+        }
+        self.trim_times.push_back(obs.at_ns);
+        while let Some(&front) = self.trim_times.front() {
+            if obs.at_ns.saturating_sub(front) > self.window_ns {
+                self.trim_times.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn score(&self) -> f64 {
+        (self.trim_times.len() as f64 / self.surge_threshold as f64).min(1.0)
+    }
+
+    fn reset(&mut self) {
+        self.trim_times.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlator_flags_read_encrypt_writeback() {
+        let mut d = OverwriteCorrelator::new();
+        for i in 0..100u64 {
+            d.observe(&WriteObservation::overwrite(i, i, 7.9, true));
+        }
+        assert!(d.score() > 0.9);
+    }
+
+    #[test]
+    fn correlator_ignores_blind_overwrites() {
+        let mut d = OverwriteCorrelator::new();
+        for i in 0..100u64 {
+            d.observe(&WriteObservation::overwrite(i, i, 4.0, false));
+        }
+        assert_eq!(d.score(), 0.0);
+    }
+
+    #[test]
+    fn correlator_warm_up() {
+        let mut d = OverwriteCorrelator::new();
+        for i in 0..10u64 {
+            d.observe(&WriteObservation::overwrite(i, i, 7.9, true));
+        }
+        assert_eq!(d.score(), 0.0);
+    }
+
+    #[test]
+    fn trim_surge_fires_on_burst() {
+        let mut d = TrimSurgeDetector::new();
+        for i in 0..200u64 {
+            d.observe(&WriteObservation::trim(i * 1_000, i));
+        }
+        assert!((d.score() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trim_surge_quiet_on_sparse_trims() {
+        let mut d = TrimSurgeDetector::new();
+        // One trim every 10 simulated minutes.
+        for i in 0..50u64 {
+            d.observe(&WriteObservation::trim(i * 600_000_000_000, i));
+        }
+        assert!(d.score() < 0.05, "score {}", d.score());
+    }
+
+    #[test]
+    fn trim_surge_ignores_writes() {
+        let mut d = TrimSurgeDetector::new();
+        for i in 0..500u64 {
+            d.observe(&WriteObservation::overwrite(i, i, 8.0, true));
+        }
+        assert_eq!(d.score(), 0.0);
+    }
+
+    #[test]
+    fn resets_clear_state() {
+        let mut c = OverwriteCorrelator::new();
+        let mut t = TrimSurgeDetector::new();
+        for i in 0..200u64 {
+            c.observe(&WriteObservation::overwrite(i, i, 8.0, true));
+            t.observe(&WriteObservation::trim(i, i));
+        }
+        c.reset();
+        t.reset();
+        assert_eq!(c.score(), 0.0);
+        assert_eq!(t.score(), 0.0);
+    }
+}

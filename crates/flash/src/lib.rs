@@ -1,0 +1,44 @@
+//! NAND flash array simulator — the lowest substrate of the RSSD stack.
+//!
+//! The paper prototypes RSSD on a Cosmos+ OpenSSD FPGA board; this crate is
+//! the software stand-in for that board's flash subsystem (Figure 1's flash
+//! controllers + flash chips). It models the properties every flash-aware
+//! defense — FlashGuard, LocalSSD retention, and RSSD itself — relies on:
+//!
+//! * **Out-of-place update**: a programmed page cannot be reprogrammed; the
+//!   old version physically remains until its *block* is erased. This is the
+//!   intrinsic property that makes stale-data retention possible at all.
+//! * **Erase-before-program** at block granularity, sequential page
+//!   programming within a block, and per-block P/E wear.
+//! * **Out-of-band (OOB) metadata** per page, where the FTL stores the
+//!   logical address, timestamp and sequence number — the raw material of
+//!   RSSD's hardware-assisted log.
+//! * A **timing model** (read/program/erase latencies, per-channel bus
+//!   transfer) with channel-level parallelism, driving the simulated clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use rssd_flash::{FlashGeometry, NandArray, PageOob, Ppa};
+//!
+//! let geometry = FlashGeometry::small_test();
+//! let mut nand = NandArray::new(geometry);
+//! let ppa = Ppa::new(0, 0, 0, 0, 0);
+//! let oob = PageOob { lpa: 42, timestamp_ns: 0, seq: 0 };
+//! nand.program(ppa, vec![0xAB; geometry.page_size], oob)?;
+//! let (data, _oob) = nand.read(ppa)?;
+//! assert_eq!(data[0], 0xAB);
+//! # Ok::<(), rssd_flash::NandError>(())
+//! ```
+
+pub mod clock;
+pub mod geometry;
+pub mod nand;
+pub mod stats;
+pub mod timing;
+
+pub use clock::SimClock;
+pub use geometry::{FlashGeometry, Ppa};
+pub use nand::{BlockState, NandArray, NandError, PageOob, PageState};
+pub use stats::NandStats;
+pub use timing::NandTiming;

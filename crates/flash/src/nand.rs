@@ -1,0 +1,597 @@
+//! The NAND array proper: page/block state machines and physical constraints.
+
+use crate::clock::SimClock;
+use crate::geometry::{FlashGeometry, Ppa};
+use crate::stats::NandStats;
+use crate::timing::{ChannelSchedule, NandTiming};
+use serde::{Deserialize, Serialize};
+
+/// Per-page out-of-band metadata, written atomically with the page data.
+///
+/// Real NAND pages carry a spare area; FTLs use it for reverse-mapping and
+/// power-fail recovery. RSSD additionally relies on it to reconstruct the
+/// time order of operations: `seq` is a device-global monotone counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageOob {
+    /// Logical page address this physical page was written for.
+    pub lpa: u64,
+    /// Simulated time of the program operation.
+    pub timestamp_ns: u64,
+    /// Device-global write sequence number (total order of programs).
+    pub seq: u64,
+}
+
+/// State of one physical page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Programmed and holding data.
+    Programmed,
+}
+
+/// State of one erase block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockState {
+    /// All pages erased; programming starts at page 0.
+    Erased,
+    /// Some pages programmed; `write_pointer` pages used so far.
+    Open,
+    /// Every page programmed.
+    Full,
+    /// Worn out (exceeded its P/E budget); unusable.
+    Bad,
+}
+
+/// Errors surfaced by raw NAND operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NandError {
+    /// Address outside the configured geometry.
+    AddressOutOfRange(Ppa),
+    /// Attempt to program a page that is not the block's next free page.
+    /// NAND requires strictly sequential programming within a block.
+    NonSequentialProgram {
+        /// The requested page address.
+        requested: Ppa,
+        /// The page index the block's write pointer expects next.
+        expected_page: u32,
+    },
+    /// Attempt to program a page that is already programmed (no overwrite
+    /// in place — the property all retention defenses build on).
+    ProgramOnProgrammed(Ppa),
+    /// Attempt to read an erased page.
+    ReadOnErased(Ppa),
+    /// Operation on a block that has worn out.
+    BadBlock(Ppa),
+    /// Payload length does not match the geometry's page size.
+    WrongPageSize {
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes the geometry requires.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for NandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NandError::AddressOutOfRange(ppa) => write!(f, "address {ppa} out of range"),
+            NandError::NonSequentialProgram {
+                requested,
+                expected_page,
+            } => write!(
+                f,
+                "non-sequential program at {requested}, block expects page {expected_page}"
+            ),
+            NandError::ProgramOnProgrammed(ppa) => {
+                write!(f, "program on already-programmed page {ppa}")
+            }
+            NandError::ReadOnErased(ppa) => write!(f, "read on erased page {ppa}"),
+            NandError::BadBlock(ppa) => write!(f, "block containing {ppa} is worn out"),
+            NandError::WrongPageSize { got, expected } => {
+                write!(f, "payload of {got} bytes, page size is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NandError {}
+
+#[derive(Clone, Debug)]
+struct Block {
+    state: BlockState,
+    write_pointer: u32,
+    pe_cycles: u32,
+    pages: Vec<Option<(Box<[u8]>, PageOob)>>,
+}
+
+impl Block {
+    fn new(pages_per_block: u32) -> Self {
+        Block {
+            state: BlockState::Erased,
+            write_pointer: 0,
+            pe_cycles: 0,
+            pages: vec![None; pages_per_block as usize],
+        }
+    }
+}
+
+/// The simulated NAND flash array.
+///
+/// Enforces the physical constraints (erase-before-program, sequential
+/// in-block programming, block-granularity erase, wear-out) and accounts
+/// simulated time on the shared [`SimClock`].
+#[derive(Clone, Debug)]
+pub struct NandArray {
+    geometry: FlashGeometry,
+    timing: NandTiming,
+    clock: SimClock,
+    blocks: Vec<Block>,
+    schedule: ChannelSchedule,
+    stats: NandStats,
+    seq_counter: u64,
+    max_pe_cycles: u32,
+}
+
+impl NandArray {
+    /// Default P/E endurance budget per block (MLC-class).
+    pub const DEFAULT_MAX_PE_CYCLES: u32 = 3_000;
+
+    /// Creates an erased array with default timing and a fresh clock.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        Self::with_clock(geometry, NandTiming::default(), SimClock::new())
+    }
+
+    /// Creates an erased array with explicit timing and a shared clock.
+    pub fn with_clock(geometry: FlashGeometry, timing: NandTiming, clock: SimClock) -> Self {
+        let blocks = (0..geometry.total_blocks())
+            .map(|_| Block::new(geometry.pages_per_block))
+            .collect();
+        NandArray {
+            geometry,
+            timing,
+            clock: clock.clone(),
+            blocks,
+            schedule: ChannelSchedule::new(geometry.channels),
+            stats: NandStats::default(),
+            seq_counter: 0,
+            max_pe_cycles: Self::DEFAULT_MAX_PE_CYCLES,
+        }
+    }
+
+    /// Overrides the per-block endurance budget (for wear-out tests).
+    pub fn set_max_pe_cycles(&mut self, cycles: u32) {
+        self.max_pe_cycles = cycles;
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> FlashGeometry {
+        self.geometry
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> NandTiming {
+        self.timing
+    }
+
+    /// Handle to the simulation clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &NandStats {
+        &self.stats
+    }
+
+    /// State of the block containing `ppa`.
+    pub fn block_state(&self, ppa: Ppa) -> Result<BlockState, NandError> {
+        self.check_address(ppa)?;
+        Ok(self.blocks[self.geometry.block_index(ppa) as usize].state)
+    }
+
+    /// The next programmable page index of the block containing `ppa`
+    /// (its write pointer).
+    pub fn write_pointer(&self, ppa: Ppa) -> Result<u32, NandError> {
+        self.check_address(ppa)?;
+        Ok(self.blocks[self.geometry.block_index(ppa) as usize].write_pointer)
+    }
+
+    /// P/E cycles consumed by the block containing `ppa`.
+    pub fn pe_cycles(&self, ppa: Ppa) -> Result<u32, NandError> {
+        self.check_address(ppa)?;
+        Ok(self.blocks[self.geometry.block_index(ppa) as usize].pe_cycles)
+    }
+
+    /// State of the page at `ppa`.
+    pub fn page_state(&self, ppa: Ppa) -> Result<PageState, NandError> {
+        self.check_address(ppa)?;
+        let block = &self.blocks[self.geometry.block_index(ppa) as usize];
+        Ok(if block.pages[ppa.page as usize].is_some() {
+            PageState::Programmed
+        } else {
+            PageState::Free
+        })
+    }
+
+    /// Programs `data` + `oob` into the page at `ppa`, advancing simulated
+    /// time on the page's channel. Returns the device-global sequence number
+    /// assigned to this program.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range, the payload is the wrong size,
+    /// the block is bad, the page is already programmed, or programming is
+    /// not at the block's write pointer.
+    pub fn program(&mut self, ppa: Ppa, data: Vec<u8>, mut oob: PageOob) -> Result<u64, NandError> {
+        self.check_address(ppa)?;
+        if data.len() != self.geometry.page_size {
+            return Err(NandError::WrongPageSize {
+                got: data.len(),
+                expected: self.geometry.page_size,
+            });
+        }
+        let block_idx = self.geometry.block_index(ppa) as usize;
+        let block = &mut self.blocks[block_idx];
+        match block.state {
+            BlockState::Bad => return Err(NandError::BadBlock(ppa)),
+            BlockState::Full => return Err(NandError::ProgramOnProgrammed(ppa)),
+            BlockState::Erased | BlockState::Open => {}
+        }
+        if block.pages[ppa.page as usize].is_some() {
+            return Err(NandError::ProgramOnProgrammed(ppa));
+        }
+        if ppa.page != block.write_pointer {
+            return Err(NandError::NonSequentialProgram {
+                requested: ppa,
+                expected_page: block.write_pointer,
+            });
+        }
+
+        let seq = self.seq_counter;
+        self.seq_counter += 1;
+        oob.seq = seq;
+        oob.timestamp_ns = self.clock.now_ns();
+
+        block.pages[ppa.page as usize] = Some((data.into_boxed_slice(), oob));
+        block.write_pointer += 1;
+        block.state = if block.write_pointer == self.geometry.pages_per_block {
+            BlockState::Full
+        } else {
+            BlockState::Open
+        };
+
+        let latency = self.timing.program_latency(self.geometry.page_size);
+        let done = self
+            .schedule
+            .schedule(ppa.channel, self.clock.now_ns(), latency);
+        self.clock.advance_to(done);
+        self.stats.record_program(latency);
+        Ok(seq)
+    }
+
+    /// Reads the page at `ppa`, advancing simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range, the block is bad, or the page is
+    /// erased.
+    pub fn read(&mut self, ppa: Ppa) -> Result<(Vec<u8>, PageOob), NandError> {
+        self.check_address(ppa)?;
+        let block_idx = self.geometry.block_index(ppa) as usize;
+        let block = &self.blocks[block_idx];
+        if block.state == BlockState::Bad {
+            return Err(NandError::BadBlock(ppa));
+        }
+        let (data, oob) = block.pages[ppa.page as usize]
+            .as_ref()
+            .ok_or(NandError::ReadOnErased(ppa))?;
+        let out = (data.to_vec(), *oob);
+
+        let latency = self.timing.read_latency(self.geometry.page_size);
+        let done = self
+            .schedule
+            .schedule(ppa.channel, self.clock.now_ns(), latency);
+        self.clock.advance_to(done);
+        self.stats.record_read(latency);
+        Ok(out)
+    }
+
+    /// Reads only the OOB metadata of a programmed page (cheaper than a full
+    /// page read; used by log reconstruction). Charges read latency without
+    /// the data transfer.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_oob(&mut self, ppa: Ppa) -> Result<PageOob, NandError> {
+        self.check_address(ppa)?;
+        let block_idx = self.geometry.block_index(ppa) as usize;
+        let block = &self.blocks[block_idx];
+        if block.state == BlockState::Bad {
+            return Err(NandError::BadBlock(ppa));
+        }
+        let (_, oob) = block.pages[ppa.page as usize]
+            .as_ref()
+            .ok_or(NandError::ReadOnErased(ppa))?;
+        let oob = *oob;
+
+        let latency = self.timing.read_ns;
+        let done = self
+            .schedule
+            .schedule(ppa.channel, self.clock.now_ns(), latency);
+        self.clock.advance_to(done);
+        self.stats.record_read(latency);
+        Ok(oob)
+    }
+
+    /// Erases the block containing `ppa`, consuming one P/E cycle. The block
+    /// becomes [`BlockState::Bad`] once its endurance budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is out of range or the block is already bad.
+    pub fn erase_block(&mut self, ppa: Ppa) -> Result<(), NandError> {
+        self.check_address(ppa)?;
+        let block_idx = self.geometry.block_index(ppa) as usize;
+        let max_pe = self.max_pe_cycles;
+        let block = &mut self.blocks[block_idx];
+        if block.state == BlockState::Bad {
+            return Err(NandError::BadBlock(ppa));
+        }
+        block.pages.iter_mut().for_each(|p| *p = None);
+        block.write_pointer = 0;
+        block.pe_cycles += 1;
+        block.state = if block.pe_cycles >= max_pe {
+            BlockState::Bad
+        } else {
+            BlockState::Erased
+        };
+
+        let latency = self.timing.erase_latency();
+        let done = self
+            .schedule
+            .schedule(ppa.channel, self.clock.now_ns(), latency);
+        self.clock.advance_to(done);
+        self.stats.record_erase(latency);
+        Ok(())
+    }
+
+    /// Iterates the OOB metadata of every programmed page in the block
+    /// containing `ppa`, in page order (no latency charged; helper for GC
+    /// victim scanning, which real FTLs do from in-DRAM summaries).
+    pub fn block_oobs(&self, ppa: Ppa) -> Result<Vec<(u32, PageOob)>, NandError> {
+        self.check_address(ppa)?;
+        let block = &self.blocks[self.geometry.block_index(ppa) as usize];
+        Ok(block
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|(_, oob)| (i as u32, *oob)))
+            .collect())
+    }
+
+    /// Reads page data + OOB without charging latency or advancing the
+    /// clock. This models a *background* read scheduled into idle channel
+    /// windows (how RSSD's offload engine drains retained pages without
+    /// perturbing foreground I/O — see DESIGN.md). Counted separately in
+    /// the stats.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_background(&mut self, ppa: Ppa) -> Result<(Vec<u8>, PageOob), NandError> {
+        self.check_address(ppa)?;
+        let block = &self.blocks[self.geometry.block_index(ppa) as usize];
+        if block.state == BlockState::Bad {
+            return Err(NandError::BadBlock(ppa));
+        }
+        let (data, oob) = block.pages[ppa.page as usize]
+            .as_ref()
+            .ok_or(NandError::ReadOnErased(ppa))?;
+        self.stats.record_background_read();
+        Ok((data.to_vec(), *oob))
+    }
+
+    /// OOB metadata of `ppa` without charging latency (FTLs keep this in a
+    /// DRAM summary; the simulator reads it straight from the model).
+    pub fn peek_oob(&self, ppa: Ppa) -> Result<Option<PageOob>, NandError> {
+        self.check_address(ppa)?;
+        let block = &self.blocks[self.geometry.block_index(ppa) as usize];
+        Ok(block.pages[ppa.page as usize].as_ref().map(|(_, oob)| *oob))
+    }
+
+    /// Global write sequence counter value (next program gets this number).
+    pub fn next_seq(&self) -> u64 {
+        self.seq_counter
+    }
+
+    fn check_address(&self, ppa: Ppa) -> Result<(), NandError> {
+        if self.geometry.contains(ppa) {
+            Ok(())
+        } else {
+            Err(NandError::AddressOutOfRange(ppa))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant_array() -> NandArray {
+        NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+        )
+    }
+
+    fn page(data: u8) -> Vec<u8> {
+        vec![data; 4096]
+    }
+
+    fn oob(lpa: u64) -> PageOob {
+        PageOob {
+            lpa,
+            timestamp_ns: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn program_read_round_trip() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        nand.program(ppa, page(0xCD), oob(7)).unwrap();
+        let (data, meta) = nand.read(ppa).unwrap();
+        assert_eq!(data, page(0xCD));
+        assert_eq!(meta.lpa, 7);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        let s0 = nand.program(ppa, page(1), oob(0)).unwrap();
+        let s1 = nand.program(ppa.with_page(1), page(2), oob(1)).unwrap();
+        assert_eq!(s0 + 1, s1);
+        assert_eq!(nand.next_seq(), 2);
+    }
+
+    #[test]
+    fn no_overwrite_in_place() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        nand.program(ppa, page(1), oob(0)).unwrap();
+        assert_eq!(
+            nand.program(ppa, page(2), oob(0)),
+            Err(NandError::ProgramOnProgrammed(ppa))
+        );
+    }
+
+    #[test]
+    fn programming_must_be_sequential_within_block() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 3);
+        assert_eq!(
+            nand.program(ppa, page(1), oob(0)),
+            Err(NandError::NonSequentialProgram {
+                requested: ppa,
+                expected_page: 0
+            })
+        );
+    }
+
+    #[test]
+    fn read_erased_fails() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        assert_eq!(nand.read(ppa), Err(NandError::ReadOnErased(ppa)));
+    }
+
+    #[test]
+    fn erase_frees_whole_block() {
+        let mut nand = instant_array();
+        let base = Ppa::new(0, 0, 0, 0, 0);
+        for p in 0..8 {
+            nand.program(base.with_page(p), page(p as u8), oob(p as u64))
+                .unwrap();
+        }
+        assert_eq!(nand.block_state(base).unwrap(), BlockState::Full);
+        nand.erase_block(base).unwrap();
+        assert_eq!(nand.block_state(base).unwrap(), BlockState::Erased);
+        assert_eq!(nand.page_state(base).unwrap(), PageState::Free);
+        // Reprogrammable from page 0 again.
+        nand.program(base, page(9), oob(9)).unwrap();
+    }
+
+    #[test]
+    fn erase_counts_wear_and_block_goes_bad() {
+        let mut nand = instant_array();
+        nand.set_max_pe_cycles(2);
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        nand.erase_block(ppa).unwrap();
+        assert_eq!(nand.pe_cycles(ppa).unwrap(), 1);
+        nand.erase_block(ppa).unwrap();
+        assert_eq!(nand.block_state(ppa).unwrap(), BlockState::Bad);
+        assert_eq!(nand.erase_block(ppa), Err(NandError::BadBlock(ppa)));
+        assert_eq!(nand.program(ppa, page(0), oob(0)), Err(NandError::BadBlock(ppa)));
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        assert_eq!(
+            nand.program(ppa, vec![0; 100], oob(0)),
+            Err(NandError::WrongPageSize {
+                got: 100,
+                expected: 4096
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(9, 0, 0, 0, 0);
+        assert_eq!(nand.read(ppa), Err(NandError::AddressOutOfRange(ppa)));
+    }
+
+    #[test]
+    fn timing_advances_clock() {
+        let clock = SimClock::new();
+        let mut nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::mlc_default(),
+            clock.clone(),
+        );
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        nand.program(ppa, page(1), oob(0)).unwrap();
+        let after_program = clock.now_ns();
+        assert_eq!(after_program, NandTiming::mlc_default().program_latency(4096));
+        nand.read(ppa).unwrap();
+        assert!(clock.now_ns() > after_program);
+    }
+
+    #[test]
+    fn oob_carries_timestamp_and_seq() {
+        let clock = SimClock::starting_at(1234);
+        let mut nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            clock,
+        );
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        nand.program(ppa, page(1), oob(5)).unwrap();
+        let meta = nand.read_oob(ppa).unwrap();
+        assert_eq!(meta.lpa, 5);
+        assert_eq!(meta.timestamp_ns, 1234);
+        assert_eq!(meta.seq, 0);
+    }
+
+    #[test]
+    fn block_oobs_lists_programmed_pages() {
+        let mut nand = instant_array();
+        let base = Ppa::new(0, 0, 0, 0, 0);
+        nand.program(base, page(1), oob(10)).unwrap();
+        nand.program(base.with_page(1), page(2), oob(11)).unwrap();
+        let oobs = nand.block_oobs(base).unwrap();
+        assert_eq!(oobs.len(), 2);
+        assert_eq!(oobs[0].1.lpa, 10);
+        assert_eq!(oobs[1].1.lpa, 11);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut nand = instant_array();
+        let ppa = Ppa::new(0, 0, 0, 0, 0);
+        nand.program(ppa, page(1), oob(0)).unwrap();
+        nand.read(ppa).unwrap();
+        nand.erase_block(ppa).unwrap();
+        assert_eq!(nand.stats().programs(), 1);
+        assert_eq!(nand.stats().reads(), 1);
+        assert_eq!(nand.stats().erases(), 1);
+    }
+}

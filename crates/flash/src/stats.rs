@@ -1,0 +1,97 @@
+//! Operation counters for the NAND array.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of raw NAND operations and the simulated time they consumed.
+///
+/// The lifetime experiment (E4) reads erase counts from here; the performance
+/// experiment (E3) compares busy time between device models.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NandStats {
+    reads: u64,
+    programs: u64,
+    erases: u64,
+    background_reads: u64,
+    read_time_ns: u64,
+    program_time_ns: u64,
+    erase_time_ns: u64,
+}
+
+impl NandStats {
+    /// Number of page reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of page programs performed.
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Number of block erases performed.
+    pub fn erases(&self) -> u64 {
+        self.erases
+    }
+
+    /// Cumulative simulated time spent in reads.
+    pub fn read_time_ns(&self) -> u64 {
+        self.read_time_ns
+    }
+
+    /// Cumulative simulated time spent in programs.
+    pub fn program_time_ns(&self) -> u64 {
+        self.program_time_ns
+    }
+
+    /// Cumulative simulated time spent in erases.
+    pub fn erase_time_ns(&self) -> u64 {
+        self.erase_time_ns
+    }
+
+    /// Total simulated device busy time.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.read_time_ns + self.program_time_ns + self.erase_time_ns
+    }
+
+    /// Background (offload-engine) page reads, scheduled into idle windows.
+    pub fn background_reads(&self) -> u64 {
+        self.background_reads
+    }
+
+    pub(crate) fn record_background_read(&mut self) {
+        self.background_reads += 1;
+    }
+
+    pub(crate) fn record_read(&mut self, latency_ns: u64) {
+        self.reads += 1;
+        self.read_time_ns += latency_ns;
+    }
+
+    pub(crate) fn record_program(&mut self, latency_ns: u64) {
+        self.programs += 1;
+        self.program_time_ns += latency_ns;
+    }
+
+    pub(crate) fn record_erase(&mut self, latency_ns: u64) {
+        self.erases += 1;
+        self.erase_time_ns += latency_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NandStats::default();
+        s.record_read(10);
+        s.record_read(10);
+        s.record_program(100);
+        s.record_erase(1000);
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.programs(), 1);
+        assert_eq!(s.erases(), 1);
+        assert_eq!(s.total_busy_ns(), 10 + 10 + 100 + 1000);
+    }
+}

@@ -1,0 +1,137 @@
+//! NAND timing model.
+//!
+//! Latencies follow the MLC-class parts on the Cosmos+ OpenSSD board the
+//! paper uses. The array keeps a per-channel "busy until" horizon so
+//! operations on different channels overlap while operations on the same
+//! channel serialize — the parallelism that gives SSDs their bandwidth and
+//! that RSSD's logging path must not disturb.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency parameters for the simulated NAND.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NandTiming {
+    /// Page read (cell-to-register) latency in nanoseconds.
+    pub read_ns: u64,
+    /// Page program latency in nanoseconds.
+    pub program_ns: u64,
+    /// Block erase latency in nanoseconds.
+    pub erase_ns: u64,
+    /// Channel transfer time per byte in nanoseconds (bus bandwidth).
+    pub transfer_ns_per_byte: u64,
+}
+
+impl NandTiming {
+    /// MLC-class defaults: 50 µs read, 500 µs program, 3.5 ms erase,
+    /// 400 MB/s channel (2.5 ns/byte).
+    pub fn mlc_default() -> Self {
+        NandTiming {
+            read_ns: 50_000,
+            program_ns: 500_000,
+            erase_ns: 3_500_000,
+            transfer_ns_per_byte: 3,
+        }
+    }
+
+    /// Zero-latency timing for functional tests where time is irrelevant.
+    pub fn instant() -> Self {
+        NandTiming {
+            read_ns: 0,
+            program_ns: 0,
+            erase_ns: 0,
+            transfer_ns_per_byte: 0,
+        }
+    }
+
+    /// Total latency of reading one page of `page_size` bytes over the bus.
+    pub fn read_latency(&self, page_size: usize) -> u64 {
+        self.read_ns + self.transfer_ns_per_byte * page_size as u64
+    }
+
+    /// Total latency of programming one page of `page_size` bytes.
+    pub fn program_latency(&self, page_size: usize) -> u64 {
+        self.program_ns + self.transfer_ns_per_byte * page_size as u64
+    }
+
+    /// Latency of erasing one block.
+    pub fn erase_latency(&self) -> u64 {
+        self.erase_ns
+    }
+}
+
+impl Default for NandTiming {
+    fn default() -> Self {
+        Self::mlc_default()
+    }
+}
+
+/// Per-channel busy horizons: operation completion times used to model
+/// channel-level parallelism.
+#[derive(Clone, Debug)]
+pub(crate) struct ChannelSchedule {
+    busy_until_ns: Vec<u64>,
+}
+
+impl ChannelSchedule {
+    pub(crate) fn new(channels: u32) -> Self {
+        ChannelSchedule {
+            busy_until_ns: vec![0; channels as usize],
+        }
+    }
+
+    /// Schedules an operation of duration `latency_ns` on `channel` starting
+    /// no earlier than `now_ns`; returns its completion time.
+    pub(crate) fn schedule(&mut self, channel: u32, now_ns: u64, latency_ns: u64) -> u64 {
+        let slot = &mut self.busy_until_ns[channel as usize];
+        let start = (*slot).max(now_ns);
+        *slot = start + latency_ns;
+        *slot
+    }
+
+    /// Completion time of the last scheduled operation on `channel`.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn busy_until(&self, channel: u32) -> u64 {
+        self.busy_until_ns[channel as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_include_transfer() {
+        let t = NandTiming::mlc_default();
+        assert_eq!(t.read_latency(4096), 50_000 + 3 * 4096);
+        assert_eq!(t.program_latency(4096), 500_000 + 3 * 4096);
+        assert_eq!(t.erase_latency(), 3_500_000);
+    }
+
+    #[test]
+    fn same_channel_serializes() {
+        let mut s = ChannelSchedule::new(2);
+        let a = s.schedule(0, 0, 100);
+        let b = s.schedule(0, 0, 100);
+        assert_eq!(a, 100);
+        assert_eq!(b, 200);
+    }
+
+    #[test]
+    fn different_channels_overlap() {
+        let mut s = ChannelSchedule::new(2);
+        let a = s.schedule(0, 0, 100);
+        let b = s.schedule(1, 0, 100);
+        assert_eq!(a, 100);
+        assert_eq!(b, 100);
+    }
+
+    #[test]
+    fn schedule_respects_now() {
+        let mut s = ChannelSchedule::new(1);
+        s.schedule(0, 0, 100);
+        // Channel free at 100, but request arrives at 500.
+        let done = s.schedule(0, 500, 50);
+        assert_eq!(done, 550);
+        assert_eq!(s.busy_until(0), 550);
+    }
+}

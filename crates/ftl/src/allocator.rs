@@ -1,0 +1,222 @@
+//! Free-block pool and active-block write allocation.
+//!
+//! Writes stripe across channels round-robin (to exploit channel
+//! parallelism); within a pool, the freshest allocation is the erased block
+//! with the fewest P/E cycles (dynamic wear leveling).
+
+use rssd_flash::{FlashGeometry, NandArray, Ppa};
+use std::collections::BTreeSet;
+
+/// Allocation streams: host writes and GC migrations use separate active
+/// blocks so hot host data and cold migrated data don't mix (reduces future
+/// write amplification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stream {
+    /// Host-issued writes.
+    Host,
+    /// GC migration writes.
+    Gc,
+}
+
+/// Free-block pool plus per-stream active blocks.
+#[derive(Clone, Debug)]
+pub struct BlockAllocator {
+    geometry: FlashGeometry,
+    /// Erased blocks ready for allocation, keyed by (pe_cycles, block) so
+    /// `pop_first` implements dynamic wear leveling.
+    free: BTreeSet<(u32, u32)>,
+    /// Active (partially programmed) block per stream, with its next page.
+    active_host: Option<(u32, u32)>,
+    active_gc: Option<(u32, u32)>,
+    /// Round-robin cursor so consecutive allocations spread over channels.
+    rr_cursor: u32,
+}
+
+impl BlockAllocator {
+    /// Creates an allocator owning every block of `geometry` as free.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        let free = (0..geometry.total_blocks()).map(|b| (0u32, b)).collect();
+        BlockAllocator {
+            geometry,
+            free,
+            active_host: None,
+            active_gc: None,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of erased blocks in the pool (excluding active blocks).
+    pub fn free_blocks(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Returns the next page to program for `stream`, opening a new active
+    /// block from the pool if necessary. Returns `None` when the pool is
+    /// empty and no active block has room.
+    pub fn next_page(&mut self, stream: Stream, nand: &NandArray) -> Option<Ppa> {
+        let pages_per_block = self.geometry.pages_per_block;
+        let active = match stream {
+            Stream::Host => &mut self.active_host,
+            Stream::Gc => &mut self.active_gc,
+        };
+
+        if let Some((block, next_page)) = active {
+            if *next_page < pages_per_block {
+                let ppa = self.geometry.block_to_ppa(*block).with_page(*next_page);
+                *next_page += 1;
+                return Some(ppa);
+            }
+        }
+
+        // Need a fresh block: prefer least-worn, breaking ties by spreading
+        // across channels starting at the round-robin cursor.
+        let chosen = self.pick_block(nand)?;
+        self.free.retain(|&(_, b)| b != chosen);
+        let ppa = self.geometry.block_to_ppa(chosen);
+        match stream {
+            Stream::Host => self.active_host = Some((chosen, 1)),
+            Stream::Gc => self.active_gc = Some((chosen, 1)),
+        }
+        Some(ppa)
+    }
+
+    fn pick_block(&mut self, nand: &NandArray) -> Option<u32> {
+        if self.free.is_empty() {
+            return None;
+        }
+        // All candidates with the minimal wear.
+        let min_pe = self.free.iter().next().expect("non-empty").0;
+        let preferred_channel = self.rr_cursor % self.geometry.channels;
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        let candidate = self
+            .free
+            .iter()
+            .take_while(|&&(pe, _)| pe == min_pe)
+            .map(|&(_, b)| b)
+            .find(|&b| self.geometry.block_to_ppa(b).channel == preferred_channel)
+            .or_else(|| self.free.iter().next().map(|&(_, b)| b));
+        // Sanity check the block really is erased in the NAND.
+        debug_assert!(candidate.is_some_and(|b| {
+            nand.block_state(self.geometry.block_to_ppa(b))
+                .is_ok_and(|s| s == rssd_flash::BlockState::Erased)
+        }));
+        candidate
+    }
+
+    /// Does the active block for `stream` still have an unprogrammed page?
+    pub fn has_room(&self, stream: Stream) -> bool {
+        let active = match stream {
+            Stream::Host => &self.active_host,
+            Stream::Gc => &self.active_gc,
+        };
+        active.is_some_and(|(_, next)| next < self.geometry.pages_per_block)
+    }
+
+    /// Returns an erased block (after GC) to the pool with its wear count.
+    pub fn release_block(&mut self, block_index: u32, pe_cycles: u32) {
+        self.free.insert((pe_cycles, block_index));
+    }
+
+    /// Removes `block_index` from the pool (e.g. it went bad).
+    pub fn retire_block(&mut self, block_index: u32) {
+        self.free.retain(|&(_, b)| b != block_index);
+    }
+
+    /// Blocks currently held open for writing (at most one per stream).
+    pub fn active_blocks(&self) -> Vec<u32> {
+        self.active_host
+            .iter()
+            .chain(self.active_gc.iter())
+            .map(|&(b, _)| b)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rssd_flash::{NandTiming, SimClock};
+
+    fn setup() -> (BlockAllocator, NandArray) {
+        let g = FlashGeometry::small_test();
+        let nand = NandArray::with_clock(g, NandTiming::instant(), SimClock::new());
+        (BlockAllocator::new(g), nand)
+    }
+
+    #[test]
+    fn allocates_sequential_pages_within_block() {
+        let (mut alloc, nand) = setup();
+        let a = alloc.next_page(Stream::Host, &nand).unwrap();
+        let b = alloc.next_page(Stream::Host, &nand).unwrap();
+        assert_eq!(a.with_page(0), b.with_page(0), "same block");
+        assert_eq!(a.page + 1, b.page);
+    }
+
+    #[test]
+    fn opens_new_block_when_full() {
+        let (mut alloc, nand) = setup();
+        let first = alloc.next_page(Stream::Host, &nand).unwrap();
+        for _ in 0..7 {
+            alloc.next_page(Stream::Host, &nand).unwrap();
+        }
+        let next = alloc.next_page(Stream::Host, &nand).unwrap();
+        assert_ne!(first.with_page(0), next.with_page(0));
+        assert_eq!(next.page, 0);
+    }
+
+    #[test]
+    fn streams_use_separate_blocks() {
+        let (mut alloc, nand) = setup();
+        let host = alloc.next_page(Stream::Host, &nand).unwrap();
+        let gc = alloc.next_page(Stream::Gc, &nand).unwrap();
+        assert_ne!(host.with_page(0), gc.with_page(0));
+    }
+
+    #[test]
+    fn pool_exhausts_to_none() {
+        let (mut alloc, nand) = setup();
+        let total = FlashGeometry::small_test().total_pages();
+        for _ in 0..total {
+            assert!(alloc.next_page(Stream::Host, &nand).is_some());
+        }
+        assert_eq!(alloc.next_page(Stream::Host, &nand), None);
+        assert_eq!(alloc.free_blocks(), 0);
+    }
+
+    #[test]
+    fn release_returns_block_to_pool() {
+        let (mut alloc, nand) = setup();
+        let total = FlashGeometry::small_test().total_pages();
+        for _ in 0..total {
+            alloc.next_page(Stream::Host, &nand).unwrap();
+        }
+        alloc.release_block(3, 1);
+        let ppa = alloc.next_page(Stream::Gc, &nand).unwrap();
+        assert_eq!(FlashGeometry::small_test().block_index(ppa), 3);
+    }
+
+    #[test]
+    fn wear_leveling_prefers_least_worn() {
+        let g = FlashGeometry::small_test();
+        let nand = NandArray::with_clock(g, NandTiming::instant(), SimClock::new());
+        let mut alloc = BlockAllocator::new(g);
+        // Drain the pool, then return two blocks with different wear.
+        while alloc.next_page(Stream::Host, &nand).is_some() {}
+        alloc.release_block(5, 10);
+        alloc.release_block(9, 1);
+        let ppa = alloc.next_page(Stream::Host, &nand).unwrap();
+        assert_eq!(g.block_index(ppa), 9, "least-worn block first");
+    }
+
+    #[test]
+    fn retire_removes_block() {
+        let (mut alloc, nand) = setup();
+        let before = alloc.free_blocks();
+        // Retire a block that is still in the pool (not active).
+        let active = alloc.active_blocks();
+        let victim = (0..before).find(|b| !active.contains(b)).unwrap();
+        alloc.retire_block(victim);
+        assert_eq!(alloc.free_blocks(), before - 1);
+        let _ = nand;
+    }
+}

@@ -1,0 +1,114 @@
+//! FTL configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Garbage-collection victim-selection policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pick the eligible block with the fewest valid pages.
+    #[default]
+    Greedy,
+    /// Cost-benefit: maximize `age * (1 - u) / (2u)` where `u` is block
+    /// utilization — prefers cold, mostly-invalid blocks.
+    CostBenefit,
+}
+
+/// FTL tuning knobs.
+///
+/// Built with struct-update syntax from [`FtlConfig::default`]:
+///
+/// ```
+/// use rssd_ftl::{FtlConfig, GcPolicy};
+///
+/// let config = FtlConfig {
+///     over_provisioning: 0.25,
+///     gc_policy: GcPolicy::CostBenefit,
+///     ..FtlConfig::default()
+/// };
+/// assert!(config.over_provisioning > 0.2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FtlConfig {
+    /// Fraction of raw capacity reserved as over-provisioning (not exposed
+    /// as logical capacity). Commodity SSDs use 7–28 %.
+    pub over_provisioning: f64,
+    /// Start background GC when free blocks drop below this fraction of all
+    /// blocks.
+    pub gc_low_watermark: f64,
+    /// Background GC stops once free blocks recover above this fraction.
+    pub gc_high_watermark: f64,
+    /// Victim-selection policy.
+    pub gc_policy: GcPolicy,
+    /// Reserved blocks GC may always draw on for migrations (so GC can make
+    /// progress even when the host-visible pool is exhausted).
+    pub gc_reserved_blocks: u32,
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        FtlConfig {
+            over_provisioning: 0.20,
+            gc_low_watermark: 0.08,
+            gc_high_watermark: 0.16,
+            gc_policy: GcPolicy::Greedy,
+            gc_reserved_blocks: 2,
+        }
+    }
+}
+
+impl FtlConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..0.9).contains(&self.over_provisioning) {
+            return Err(format!(
+                "over_provisioning {} outside [0, 0.9)",
+                self.over_provisioning
+            ));
+        }
+        if !(0.0..1.0).contains(&self.gc_low_watermark)
+            || !(0.0..1.0).contains(&self.gc_high_watermark)
+        {
+            return Err("gc watermarks must lie in [0, 1)".to_string());
+        }
+        if self.gc_low_watermark >= self.gc_high_watermark {
+            return Err(format!(
+                "gc_low_watermark {} must be below gc_high_watermark {}",
+                self.gc_low_watermark, self.gc_high_watermark
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        FtlConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inverted_watermarks() {
+        let c = FtlConfig {
+            gc_low_watermark: 0.5,
+            gc_high_watermark: 0.2,
+            ..FtlConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_huge_over_provisioning() {
+        let c = FtlConfig {
+            over_provisioning: 0.95,
+            ..FtlConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Garbage-collection victim selection.
+//!
+//! A block is *eligible* when it is fully programmed, not an active write
+//! block, holds at least one stale page, and contains **no pinned pages** —
+//! pinning is how retention policies (RSSD, LocalSSD, FlashGuard) keep stale
+//! data out of GC's reach. Victim scoring implements the two classic
+//! policies; which blocks are eligible at all is what the ransomware-defense
+//! schemes disagree about.
+
+use crate::config::GcPolicy;
+
+/// Inputs to victim scoring for one candidate block.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// Global block index.
+    pub block_index: u32,
+    /// Valid pages that would need migration.
+    pub valid_pages: u32,
+    /// Pages per block (for utilization).
+    pub pages_per_block: u32,
+    /// Nanoseconds since the block last had a page invalidated ("age").
+    pub age_ns: u64,
+}
+
+impl Candidate {
+    /// Block utilization `u` in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.valid_pages) / f64::from(self.pages_per_block)
+    }
+
+    /// Score under `policy`; higher is a better victim.
+    pub fn score(&self, policy: GcPolicy) -> f64 {
+        match policy {
+            // Greedy: fewest valid pages wins.
+            GcPolicy::Greedy => f64::from(self.pages_per_block - self.valid_pages),
+            // Cost-benefit (Rosenblum & Ousterhout): age * (1-u) / 2u.
+            GcPolicy::CostBenefit => {
+                let u = self.utilization();
+                if u == 0.0 {
+                    // Free win: nothing to migrate. Rank above everything,
+                    // older first.
+                    f64::MAX / 2.0 + self.age_ns as f64
+                } else {
+                    self.age_ns as f64 * (1.0 - u) / (2.0 * u)
+                }
+            }
+        }
+    }
+}
+
+/// Picks the best victim among `candidates` under `policy`, or `None` if
+/// the slice is empty. Ties break toward the lower block index for
+/// determinism.
+pub fn select_victim(candidates: &[Candidate], policy: GcPolicy) -> Option<u32> {
+    candidates
+        .iter()
+        .map(|c| (c.score(policy), std::cmp::Reverse(c.block_index)))
+        .zip(candidates)
+        .max_by(|(a, _), (b, _)| a.partial_cmp(b).expect("scores are finite"))
+        .map(|(_, c)| c.block_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(block: u32, valid: u32, age: u64) -> Candidate {
+        Candidate {
+            block_index: block,
+            valid_pages: valid,
+            pages_per_block: 64,
+            age_ns: age,
+        }
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        assert_eq!(select_victim(&[], GcPolicy::Greedy), None);
+    }
+
+    #[test]
+    fn greedy_picks_fewest_valid() {
+        let cands = [cand(0, 10, 0), cand(1, 2, 0), cand(2, 30, 0)];
+        assert_eq!(select_victim(&cands, GcPolicy::Greedy), Some(1));
+    }
+
+    #[test]
+    fn greedy_ties_break_to_lower_index() {
+        let cands = [cand(5, 2, 0), cand(3, 2, 0)];
+        assert_eq!(select_victim(&cands, GcPolicy::Greedy), Some(3));
+    }
+
+    #[test]
+    fn cost_benefit_prefers_old_sparse_blocks() {
+        // Same utilization, different age.
+        let cands = [cand(0, 16, 100), cand(1, 16, 10_000)];
+        assert_eq!(select_victim(&cands, GcPolicy::CostBenefit), Some(1));
+        // Same age, different utilization.
+        let cands = [cand(0, 48, 1_000), cand(1, 8, 1_000)];
+        assert_eq!(select_victim(&cands, GcPolicy::CostBenefit), Some(1));
+    }
+
+    #[test]
+    fn cost_benefit_zero_utilization_wins() {
+        let cands = [cand(0, 0, 5), cand(1, 1, u64::MAX / 4)];
+        assert_eq!(select_victim(&cands, GcPolicy::CostBenefit), Some(0));
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        assert_eq!(cand(0, 0, 0).utilization(), 0.0);
+        assert_eq!(cand(0, 64, 0).utilization(), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Model-based property tests for the FTL: whatever GC does underneath,
+//! the logical view must match a simple map, stale accounting must balance,
+//! and pinning must be an absolute barrier for GC.
+
+use proptest::prelude::*;
+use rssd_flash::{FlashGeometry, NandArray, NandTiming, SimClock};
+use rssd_ftl::{Ftl, FtlConfig, FtlError, InvalidateCause};
+use std::collections::HashMap;
+
+fn mk_ftl() -> Ftl {
+    let nand = NandArray::with_clock(
+        FlashGeometry::small_test(),
+        NandTiming::instant(),
+        SimClock::new(),
+    );
+    Ftl::new(nand, FtlConfig::default())
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write(u64, u8),
+    Trim(u64),
+}
+
+fn ops(lpas: u64) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0..lpas, any::<u8>()).prop_map(|(l, b)| Op::Write(l, b)),
+            1 => (0..lpas).prop_map(Op::Trim),
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn logical_view_matches_model(ops in ops(32)) {
+        let mut ftl = mk_ftl();
+        let mut model: HashMap<u64, Option<u8>> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Write(lpa, b) => {
+                    ftl.write(lpa, vec![b; 4096]).unwrap();
+                    model.insert(lpa, Some(b));
+                }
+                Op::Trim(lpa) => {
+                    ftl.trim(lpa).unwrap();
+                    model.insert(lpa, None);
+                }
+            }
+        }
+        ftl.drain_stale_events();
+        for (lpa, expected) in &model {
+            match expected {
+                Some(b) => prop_assert_eq!(ftl.read(*lpa).unwrap(), Some(vec![*b; 4096])),
+                None => prop_assert_eq!(ftl.read(*lpa).unwrap(), None),
+            }
+        }
+    }
+
+    #[test]
+    fn stale_events_balance_invalidations(ops in ops(24)) {
+        let mut ftl = mk_ftl();
+        let mut expected_events = 0u64;
+        let mut mapped: HashMap<u64, bool> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Write(lpa, b) => {
+                    if mapped.get(&lpa).copied().unwrap_or(false) {
+                        expected_events += 1;
+                    }
+                    ftl.write(lpa, vec![b; 4096]).unwrap();
+                    mapped.insert(lpa, true);
+                }
+                Op::Trim(lpa) => {
+                    if mapped.get(&lpa).copied().unwrap_or(false) {
+                        expected_events += 1;
+                    }
+                    ftl.trim(lpa).unwrap();
+                    mapped.insert(lpa, false);
+                }
+            }
+        }
+        let host_events = ftl
+            .drain_stale_events()
+            .into_iter()
+            .filter(|e| e.cause != InvalidateCause::GcMigration)
+            .count() as u64;
+        prop_assert_eq!(host_events, expected_events);
+    }
+
+    #[test]
+    fn pinned_pages_survive_arbitrary_churn(churn in ops(40)) {
+        let mut ftl = mk_ftl();
+        // Create a victim version and pin it.
+        ftl.write(63, vec![0xAB; 4096]).unwrap();
+        ftl.write(63, vec![0xCD; 4096]).unwrap();
+        let event = ftl
+            .drain_stale_events()
+            .into_iter()
+            .find(|e| e.lpa == 63)
+            .expect("overwrite event");
+        ftl.pin_page(event.ppa);
+
+        // Arbitrary churn, tolerating capacity stalls.
+        for op in &churn {
+            let result = match *op {
+                Op::Write(lpa, b) => ftl.write(lpa % 60, vec![b; 4096]),
+                Op::Trim(lpa) => ftl.trim(lpa % 60),
+            };
+            match result {
+                Ok(()) | Err(FtlError::DeviceFull) => {}
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+            ftl.drain_stale_events();
+        }
+
+        // The pinned stale version is physically intact.
+        let (data, oob) = ftl.read_physical(event.ppa).unwrap();
+        prop_assert_eq!(data, vec![0xAB; 4096]);
+        prop_assert_eq!(oob.lpa, 63);
+    }
+
+    #[test]
+    fn waf_at_least_one_and_counts_consistent(ops in ops(24)) {
+        let mut ftl = mk_ftl();
+        for op in &ops {
+            match *op {
+                Op::Write(lpa, b) => ftl.write(lpa, vec![b; 4096]).unwrap(),
+                Op::Trim(lpa) => ftl.trim(lpa).unwrap(),
+            }
+        }
+        prop_assert!(ftl.stats().write_amplification() >= 1.0);
+        // NAND programs = host writes + migrations.
+        prop_assert_eq!(
+            ftl.nand_stats().programs(),
+            ftl.stats().host_pages_written + ftl.stats().gc_pages_migrated
+        );
+        // Valid pages never exceed logical pages.
+        prop_assert!(ftl.total_valid_pages() <= ftl.logical_pages());
+    }
+}

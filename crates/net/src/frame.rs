@@ -1,0 +1,179 @@
+//! Ethernet framing.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// EtherType used for NVMe-oE capsules (vendor-experimental range).
+pub const ETHERTYPE_NVME_OE: u16 = 0x88B5;
+
+/// Maximum payload carried per frame (jumbo frames, as storage fabrics use).
+pub const MAX_PAYLOAD: usize = 9000;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The SSD controller's MAC in simulations.
+    pub const DEVICE: MacAddr = MacAddr([0x02, 0x55, 0x53, 0x53, 0x44, 0x01]);
+    /// The remote log server's MAC in simulations.
+    pub const REMOTE: MacAddr = MacAddr([0x02, 0x52, 0x4d, 0x54, 0x45, 0x01]);
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MacAddr({self})")
+    }
+}
+
+/// One Ethernet frame on the simulated wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload.
+    pub ethertype: u16,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+/// Error parsing a frame off the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the 14-byte header.
+    Truncated,
+    /// Payload longer than [`MAX_PAYLOAD`].
+    Oversized(usize),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame shorter than ethernet header"),
+            FrameError::Oversized(n) => write!(f, "payload of {n} bytes exceeds max"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl EthernetFrame {
+    /// Builds an NVMe-oE frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`MAX_PAYLOAD`].
+    pub fn nvme_oe(dst: MacAddr, src: MacAddr, payload: Bytes) -> Self {
+        assert!(payload.len() <= MAX_PAYLOAD, "payload exceeds jumbo MTU");
+        EthernetFrame {
+            dst,
+            src,
+            ethertype: ETHERTYPE_NVME_OE,
+            payload,
+        }
+    }
+
+    /// Total on-wire size (header + payload; preamble/FCS ignored).
+    pub fn wire_bytes(&self) -> usize {
+        14 + self.payload.len()
+    }
+
+    /// Serializes to wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses from wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError`] on truncated or oversized input.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, FrameError> {
+        if data.len() < 14 {
+            return Err(FrameError::Truncated);
+        }
+        if data.len() - 14 > MAX_PAYLOAD {
+            return Err(FrameError::Oversized(data.len() - 14));
+        }
+        Ok(EthernetFrame {
+            dst: MacAddr(data[0..6].try_into().expect("6 bytes")),
+            src: MacAddr(data[6..12].try_into().expect("6 bytes")),
+            ethertype: u16::from_be_bytes(data[12..14].try_into().expect("2 bytes")),
+            payload: Bytes::copy_from_slice(&data[14..]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let f = EthernetFrame::nvme_oe(
+            MacAddr::REMOTE,
+            MacAddr::DEVICE,
+            Bytes::from_static(b"capsule"),
+        );
+        let parsed = EthernetFrame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.ethertype, ETHERTYPE_NVME_OE);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            EthernetFrame::from_bytes(&[0u8; 10]),
+            Err(FrameError::Truncated)
+        );
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        let data = vec![0u8; 14 + MAX_PAYLOAD + 1];
+        assert!(matches!(
+            EthernetFrame::from_bytes(&data),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "payload exceeds jumbo MTU")]
+    fn construction_rejects_oversized() {
+        EthernetFrame::nvme_oe(
+            MacAddr::REMOTE,
+            MacAddr::DEVICE,
+            Bytes::from(vec![0u8; MAX_PAYLOAD + 1]),
+        );
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::DEVICE.to_string(), "02:55:53:53:44:01");
+    }
+
+    #[test]
+    fn wire_bytes_counts_header() {
+        let f = EthernetFrame::nvme_oe(MacAddr::REMOTE, MacAddr::DEVICE, Bytes::new());
+        assert_eq!(f.wire_bytes(), 14);
+    }
+}

@@ -1,0 +1,240 @@
+//! The controller-owned NIC: Tx/Rx rings and control registers (Figure 1).
+
+use crate::frame::EthernetFrame;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// NIC failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NicError {
+    /// Tx ring has no free descriptor.
+    TxRingFull,
+    /// Rx ring overflowed; the frame was dropped.
+    RxRingFull,
+    /// The corresponding direction is disabled in the control registers.
+    Disabled,
+}
+
+impl std::fmt::Display for NicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NicError::TxRingFull => write!(f, "tx ring full"),
+            NicError::RxRingFull => write!(f, "rx ring full"),
+            NicError::Disabled => write!(f, "nic direction disabled"),
+        }
+    }
+}
+
+impl std::error::Error for NicError {}
+
+/// Operation counters (the "control register" block's statistics page).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NicStats {
+    /// Frames accepted into the Tx ring.
+    pub tx_frames: u64,
+    /// Payload bytes accepted for transmit.
+    pub tx_bytes: u64,
+    /// Frames delivered into the Rx ring.
+    pub rx_frames: u64,
+    /// Payload bytes received.
+    pub rx_bytes: u64,
+    /// Frames dropped because the Rx ring was full.
+    pub rx_drops: u64,
+}
+
+/// The SSD controller's network interface. In the prototype this block sits
+/// inside the FPGA next to the flash controllers; the host has no MMIO path
+/// to it — which is what makes the offload tamper-proof.
+#[derive(Clone, Debug)]
+pub struct Nic {
+    mac: crate::frame::MacAddr,
+    tx_ring: VecDeque<EthernetFrame>,
+    rx_ring: VecDeque<EthernetFrame>,
+    ring_capacity: usize,
+    tx_enabled: bool,
+    rx_enabled: bool,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Default ring depth (descriptors per direction).
+    pub const DEFAULT_RING_DEPTH: usize = 256;
+
+    /// Creates an enabled NIC with the default ring depth.
+    pub fn new(mac: crate::frame::MacAddr) -> Self {
+        Self::with_ring_depth(mac, Self::DEFAULT_RING_DEPTH)
+    }
+
+    /// Creates a NIC with an explicit ring depth.
+    pub fn with_ring_depth(mac: crate::frame::MacAddr, depth: usize) -> Self {
+        Nic {
+            mac,
+            tx_ring: VecDeque::with_capacity(depth),
+            rx_ring: VecDeque::with_capacity(depth),
+            ring_capacity: depth.max(1),
+            tx_enabled: true,
+            rx_enabled: true,
+            stats: NicStats::default(),
+        }
+    }
+
+    /// This NIC's MAC address.
+    pub fn mac(&self) -> crate::frame::MacAddr {
+        self.mac
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NicStats {
+        self.stats
+    }
+
+    /// Enables/disables the transmit path (control register bit).
+    pub fn set_tx_enabled(&mut self, enabled: bool) {
+        self.tx_enabled = enabled;
+    }
+
+    /// Enables/disables the receive path (control register bit).
+    pub fn set_rx_enabled(&mut self, enabled: bool) {
+        self.rx_enabled = enabled;
+    }
+
+    /// Queues a frame for transmission (firmware side).
+    ///
+    /// # Errors
+    ///
+    /// [`NicError::Disabled`] if Tx is off, [`NicError::TxRingFull`] if no
+    /// descriptor is free.
+    pub fn enqueue_tx(&mut self, frame: EthernetFrame) -> Result<(), NicError> {
+        if !self.tx_enabled {
+            return Err(NicError::Disabled);
+        }
+        if self.tx_ring.len() >= self.ring_capacity {
+            return Err(NicError::TxRingFull);
+        }
+        self.stats.tx_frames += 1;
+        self.stats.tx_bytes += frame.payload.len() as u64;
+        self.tx_ring.push_back(frame);
+        Ok(())
+    }
+
+    /// Pops the next frame for the wire (MAC side).
+    pub fn dequeue_tx(&mut self) -> Option<EthernetFrame> {
+        self.tx_ring.pop_front()
+    }
+
+    /// Frames waiting in the Tx ring.
+    pub fn tx_pending(&self) -> usize {
+        self.tx_ring.len()
+    }
+
+    /// Delivers a frame arriving off the wire (MAC side). Frames not
+    /// addressed to this NIC are ignored (no promiscuous mode).
+    ///
+    /// # Errors
+    ///
+    /// [`NicError::Disabled`] if Rx is off, [`NicError::RxRingFull`] on
+    /// overflow (the frame is counted as dropped).
+    pub fn deliver_rx(&mut self, frame: EthernetFrame) -> Result<(), NicError> {
+        if !self.rx_enabled {
+            return Err(NicError::Disabled);
+        }
+        if frame.dst != self.mac {
+            return Ok(());
+        }
+        if self.rx_ring.len() >= self.ring_capacity {
+            self.stats.rx_drops += 1;
+            return Err(NicError::RxRingFull);
+        }
+        self.stats.rx_frames += 1;
+        self.stats.rx_bytes += frame.payload.len() as u64;
+        self.rx_ring.push_back(frame);
+        Ok(())
+    }
+
+    /// Pops the next received frame (firmware side).
+    pub fn dequeue_rx(&mut self) -> Option<EthernetFrame> {
+        self.rx_ring.pop_front()
+    }
+
+    /// Frames waiting in the Rx ring.
+    pub fn rx_pending(&self) -> usize {
+        self.rx_ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::MacAddr;
+    use bytes::Bytes;
+
+    fn frame_to(dst: MacAddr) -> EthernetFrame {
+        EthernetFrame::nvme_oe(dst, MacAddr::DEVICE, Bytes::from_static(b"x"))
+    }
+
+    #[test]
+    fn tx_fifo_order() {
+        let mut nic = Nic::new(MacAddr::DEVICE);
+        nic.enqueue_tx(frame_to(MacAddr::REMOTE)).unwrap();
+        let mut f2 = frame_to(MacAddr::REMOTE);
+        f2.payload = Bytes::from_static(b"second");
+        nic.enqueue_tx(f2.clone()).unwrap();
+        assert_eq!(nic.tx_pending(), 2);
+        assert_eq!(nic.dequeue_tx().unwrap().payload, Bytes::from_static(b"x"));
+        assert_eq!(nic.dequeue_tx().unwrap(), f2);
+        assert_eq!(nic.dequeue_tx(), None);
+    }
+
+    #[test]
+    fn tx_ring_overflow() {
+        let mut nic = Nic::with_ring_depth(MacAddr::DEVICE, 1);
+        nic.enqueue_tx(frame_to(MacAddr::REMOTE)).unwrap();
+        assert_eq!(
+            nic.enqueue_tx(frame_to(MacAddr::REMOTE)),
+            Err(NicError::TxRingFull)
+        );
+    }
+
+    #[test]
+    fn rx_filters_by_mac() {
+        let mut nic = Nic::new(MacAddr::REMOTE);
+        nic.deliver_rx(frame_to(MacAddr::REMOTE)).unwrap();
+        nic.deliver_rx(frame_to(MacAddr::DEVICE)).unwrap(); // not for us
+        assert_eq!(nic.rx_pending(), 1);
+        assert_eq!(nic.stats().rx_frames, 1);
+    }
+
+    #[test]
+    fn rx_overflow_counts_drops() {
+        let mut nic = Nic::with_ring_depth(MacAddr::REMOTE, 1);
+        nic.deliver_rx(frame_to(MacAddr::REMOTE)).unwrap();
+        assert_eq!(
+            nic.deliver_rx(frame_to(MacAddr::REMOTE)),
+            Err(NicError::RxRingFull)
+        );
+        assert_eq!(nic.stats().rx_drops, 1);
+    }
+
+    #[test]
+    fn disabled_directions_refuse() {
+        let mut nic = Nic::new(MacAddr::DEVICE);
+        nic.set_tx_enabled(false);
+        assert_eq!(
+            nic.enqueue_tx(frame_to(MacAddr::REMOTE)),
+            Err(NicError::Disabled)
+        );
+        nic.set_rx_enabled(false);
+        assert_eq!(
+            nic.deliver_rx(frame_to(MacAddr::DEVICE)),
+            Err(NicError::Disabled)
+        );
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let mut nic = Nic::new(MacAddr::DEVICE);
+        nic.enqueue_tx(frame_to(MacAddr::REMOTE)).unwrap();
+        assert_eq!(nic.stats().tx_bytes, 1);
+        assert_eq!(nic.stats().tx_frames, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! The remote half of the RSSD network-storage codesign.
+//!
+//! The paper offloads retained data and logs to "remote cloud/servers"
+//! (Amazon S3 and local storage servers in the prototype) and pushes
+//! ransomware *detection and analysis* to that remote compute. This crate
+//! provides:
+//!
+//! * [`object_store`] — an S3-like object store with a latency model.
+//! * [`server`] — the log server: receives segments over the simulated
+//!   NVMe-oE fabric, verifies evidence-chain continuity, stores them
+//!   durably, and (holding the operator-provisioned offload keys) runs the
+//!   [`rssd_detect`] ensemble over every arriving segment.
+//!
+//! [`RemoteLogServer`] implements [`rssd_core::RemoteTarget`], so an
+//! [`rssd_core::RssdDevice`] can be constructed directly over it.
+
+pub mod object_store;
+pub mod server;
+
+pub use object_store::{ObjectStore, ObjectStoreConfig, ObjectStoreStats};
+pub use server::{RemoteLogServer, ServerReport};

@@ -1,0 +1,181 @@
+//! An S3-like object store with a simple latency model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Latency model for the store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectStoreConfig {
+    /// Fixed per-request latency (request processing, metadata).
+    pub request_latency_ns: u64,
+    /// Per-byte cost (storage backend bandwidth).
+    pub per_byte_ns: u64,
+}
+
+impl ObjectStoreConfig {
+    /// Cloud object storage: 10 ms per request, ~400 MB/s streaming.
+    pub fn cloud() -> Self {
+        ObjectStoreConfig {
+            request_latency_ns: 10_000_000,
+            per_byte_ns: 2,
+        }
+    }
+
+    /// A local storage server: 200 µs per request, ~2 GB/s.
+    pub fn local_server() -> Self {
+        ObjectStoreConfig {
+            request_latency_ns: 200_000,
+            per_byte_ns: 0,
+        }
+    }
+}
+
+impl Default for ObjectStoreConfig {
+    fn default() -> Self {
+        Self::local_server()
+    }
+}
+
+/// Operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectStoreStats {
+    /// PUT requests served.
+    pub puts: u64,
+    /// GET requests served.
+    pub gets: u64,
+    /// Bytes currently stored.
+    pub stored_bytes: u64,
+}
+
+/// A bucketed key→blob store. Single-bucket helpers cover the common case.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectStore {
+    config: ObjectStoreConfig,
+    objects: BTreeMap<String, Vec<u8>>,
+    stats: ObjectStoreStats,
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new(config: ObjectStoreConfig) -> Self {
+        ObjectStore {
+            config,
+            objects: BTreeMap::new(),
+            stats: ObjectStoreStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ObjectStoreStats {
+        self.stats
+    }
+
+    /// Stores `data` under `key`, returning the simulated completion time.
+    pub fn put(&mut self, key: &str, data: Vec<u8>, now_ns: u64) -> u64 {
+        self.stats.puts += 1;
+        let cost =
+            self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
+        if let Some(old) = self.objects.insert(key.to_string(), data) {
+            self.stats.stored_bytes -= old.len() as u64;
+        }
+        self.stats.stored_bytes += self.objects[key].len() as u64;
+        now_ns + cost
+    }
+
+    /// Fetches the object at `key`, with its simulated completion time.
+    pub fn get(&mut self, key: &str, now_ns: u64) -> Option<(Vec<u8>, u64)> {
+        self.stats.gets += 1;
+        let data = self.objects.get(key)?.clone();
+        let cost =
+            self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
+        Some((data, now_ns + cost))
+    }
+
+    /// Lists keys with the given prefix, in order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Deletes an object; returns whether it existed.
+    pub fn delete(&mut self, key: &str) -> bool {
+        if let Some(old) = self.objects.remove(key) {
+            self.stats.stored_bytes -= old.len() as u64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut s = ObjectStore::new(ObjectStoreConfig::local_server());
+        let done = s.put("seg/000", vec![1, 2, 3], 0);
+        assert!(done >= 200_000);
+        let (data, _) = s.get("seg/000", done).unwrap();
+        assert_eq!(data, vec![1, 2, 3]);
+        assert_eq!(s.stats().puts, 1);
+        assert_eq!(s.stats().gets, 1);
+    }
+
+    #[test]
+    fn missing_get_is_none() {
+        let mut s = ObjectStore::new(ObjectStoreConfig::default());
+        assert!(s.get("nope", 0).is_none());
+    }
+
+    #[test]
+    fn overwrite_accounts_bytes() {
+        let mut s = ObjectStore::new(ObjectStoreConfig::default());
+        s.put("k", vec![0; 100], 0);
+        s.put("k", vec![0; 40], 0);
+        assert_eq!(s.stats().stored_bytes, 40);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn list_by_prefix_in_order() {
+        let mut s = ObjectStore::new(ObjectStoreConfig::default());
+        s.put("seg/002", vec![], 0);
+        s.put("seg/001", vec![], 0);
+        s.put("other/x", vec![], 0);
+        assert_eq!(s.list("seg/"), vec!["seg/001", "seg/002"]);
+    }
+
+    #[test]
+    fn delete_frees_bytes() {
+        let mut s = ObjectStore::new(ObjectStoreConfig::default());
+        s.put("k", vec![0; 10], 0);
+        assert!(s.delete("k"));
+        assert!(!s.delete("k"));
+        assert_eq!(s.stats().stored_bytes, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cloud_is_slower_than_local() {
+        let mut cloud = ObjectStore::new(ObjectStoreConfig::cloud());
+        let mut local = ObjectStore::new(ObjectStoreConfig::local_server());
+        let a = cloud.put("k", vec![0; 1_000_000], 0);
+        let b = local.put("k", vec![0; 1_000_000], 0);
+        assert!(a > b);
+    }
+}

@@ -1,0 +1,108 @@
+//! The host-facing block interface.
+
+use rssd_flash::SimClock;
+use rssd_ftl::FtlError;
+
+/// Errors surfaced across the block interface.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The FTL refused the operation.
+    Ftl(FtlError),
+    /// The device could not make forward progress (no reclaimable space and
+    /// the retention policy refuses to release anything).
+    Stalled,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Ftl(e) => write!(f, "ftl: {e}"),
+            DeviceError::Stalled => write!(f, "device stalled: retention policy holds all space"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Ftl(e) => Some(e),
+            DeviceError::Stalled => None,
+        }
+    }
+}
+
+impl From<FtlError> for DeviceError {
+    fn from(e: FtlError) -> Self {
+        DeviceError::Ftl(e)
+    }
+}
+
+/// The generic block I/O interface the host (and therefore any malware,
+/// however privileged) sees. Everything underneath — mapping, retention,
+/// logging, network offload — is hardware-isolated device state.
+pub trait BlockDevice {
+    /// Human-readable model name (used in experiment tables).
+    fn model_name(&self) -> &str;
+
+    /// Page size in bytes; all I/O is in whole pages.
+    fn page_size(&self) -> usize;
+
+    /// Number of logical pages exported.
+    fn logical_pages(&self) -> u64;
+
+    /// Handle to the simulation clock driving this device.
+    fn clock(&self) -> &SimClock;
+
+    /// Writes one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`DeviceError`] on invalid addresses, size
+    /// mismatches, or unreclaimable capacity exhaustion.
+    fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError>;
+
+    /// Reads one logical page; unmapped pages read as zeroes (the behaviour
+    /// of a real SSD after trim/deallocate).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`DeviceError`] on invalid addresses.
+    fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError>;
+
+    /// Trims (deallocates) one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`DeviceError`] on invalid addresses.
+    fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError>;
+
+    /// Flushes any buffered state (a barrier; default no-op).
+    ///
+    /// # Errors
+    ///
+    /// Implementations may surface deferred write-back failures here.
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        Ok(())
+    }
+
+    /// Best-effort recovery of the newest *retained* pre-attack version of
+    /// `lpa`, if this device model retains anything. `None` means
+    /// unrecoverable on this model — the paper's Table 1 "Recovery" column.
+    fn recover_page(&mut self, lpa: u64) -> Option<Vec<u8>> {
+        let _ = lpa;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_error_display_and_source() {
+        let e = DeviceError::Ftl(FtlError::DeviceFull);
+        assert!(e.to_string().contains("ftl"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&DeviceError::Stalled).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! SSD device models over the FTL.
+//!
+//! This crate exposes the host-facing block interface ([`BlockDevice`]) and
+//! implements the device models the paper evaluates against:
+//!
+//! * [`PlainSsd`] — an unprotected SSD: stale data is reclaimed by GC as
+//!   usual; ransomware-encrypted originals are gone after collection.
+//! * [`RetentionSsd`] — the *LocalSSD* / *LocalSSD+Compression* baselines of
+//!   Figure 2: conservatively retain all stale data locally, evicting the
+//!   oldest retained pages when the retention budget (the device's spare
+//!   capacity, optionally stretched by compression) fills up.
+//! * [`FlashGuardSsd`] — a FlashGuard-style defense: retain only pages whose
+//!   overwrite looks like encryption (the logical page was read shortly
+//!   before being overwritten). Defends the GC attack (suspects are pinned
+//!   regardless of capacity pressure) but is defeated by the timing attack
+//!   (spacing read and overwrite beyond its correlation window) and by the
+//!   trimming attack (trimmed pages are not considered suspects).
+//!
+//! RSSD itself lives in `rssd-core` and builds on the same primitives.
+//!
+//! The **hardware-isolation structure** of the paper is expressed in the
+//! types: hosts (and attack actors) only ever hold `&mut dyn BlockDevice` /
+//! generic `D: BlockDevice` — retention state, pins, logs and (for RSSD) the
+//! NIC are private fields no host-side code can reach.
+
+pub mod device;
+pub mod flashguard;
+pub mod plain;
+pub mod queue;
+pub mod retention;
+
+pub use device::{BlockDevice, DeviceError};
+pub use flashguard::{FlashGuardConfig, FlashGuardSsd};
+pub use plain::PlainSsd;
+pub use queue::LatencyStats;
+pub use retention::{RetentionMode, RetentionReport, RetentionSsd};

@@ -1,0 +1,168 @@
+//! The unprotected baseline SSD.
+
+use crate::device::{BlockDevice, DeviceError};
+use crate::queue::LatencyStats;
+use rssd_flash::{FlashGeometry, NandArray, NandTiming, SimClock};
+use rssd_ftl::{Ftl, FtlConfig, FtlStats};
+
+/// A commodity SSD with no ransomware defense: stale pages are ordinary GC
+/// fodder and trim physically releases data. Once GC or trim has done its
+/// work, encrypted-over originals are unrecoverable.
+#[derive(Debug)]
+pub struct PlainSsd {
+    ftl: Ftl,
+    latency: LatencyStats,
+}
+
+impl PlainSsd {
+    /// Builds a plain SSD over `geometry` with `timing` on a shared `clock`.
+    pub fn new(geometry: FlashGeometry, timing: NandTiming, clock: SimClock) -> Self {
+        let nand = NandArray::with_clock(geometry, timing, clock);
+        PlainSsd {
+            ftl: Ftl::new(nand, FtlConfig::default()),
+            latency: LatencyStats::new(),
+        }
+    }
+
+    /// Builds a plain SSD with an explicit FTL configuration.
+    pub fn with_config(
+        geometry: FlashGeometry,
+        timing: NandTiming,
+        clock: SimClock,
+        config: FtlConfig,
+    ) -> Self {
+        let nand = NandArray::with_clock(geometry, timing, clock);
+        PlainSsd {
+            ftl: Ftl::new(nand, config),
+            latency: LatencyStats::new(),
+        }
+    }
+
+    /// Per-request latency distribution observed so far.
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// FTL statistics (write amplification, GC work, …).
+    pub fn ftl_stats(&self) -> &FtlStats {
+        self.ftl.stats()
+    }
+
+    /// Raw NAND statistics (erase counts for lifetime experiments).
+    pub fn nand_stats(&self) -> &rssd_flash::NandStats {
+        self.ftl.nand_stats()
+    }
+}
+
+impl BlockDevice for PlainSsd {
+    fn model_name(&self) -> &str {
+        "PlainSSD"
+    }
+
+    fn page_size(&self) -> usize {
+        self.ftl.geometry().page_size
+    }
+
+    fn logical_pages(&self) -> u64 {
+        self.ftl.logical_pages()
+    }
+
+    fn clock(&self) -> &SimClock {
+        self.ftl.clock()
+    }
+
+    fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError> {
+        let start = self.ftl.clock().now_ns();
+        self.ftl.write(lpa, data)?;
+        // Unprotected: discard stale events, nothing is pinned or retained.
+        self.ftl.drain_stale_events();
+        let end = self.ftl.clock().now_ns();
+        self.latency.record(end - start);
+        Ok(())
+    }
+
+    fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
+        let start = self.ftl.clock().now_ns();
+        let out = match self.ftl.read(lpa)? {
+            Some(data) => data,
+            None => vec![0u8; self.page_size()],
+        };
+        let end = self.ftl.clock().now_ns();
+        self.latency.record(end - start);
+        Ok(out)
+    }
+
+    fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
+        self.ftl.trim(lpa)?;
+        self.ftl.drain_stale_events();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssd() -> PlainSsd {
+        PlainSsd::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+        )
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = ssd();
+        d.write_page(0, vec![9; 4096]).unwrap();
+        assert_eq!(d.read_page(0).unwrap(), vec![9; 4096]);
+    }
+
+    #[test]
+    fn unmapped_reads_zeroes() {
+        let mut d = ssd();
+        assert_eq!(d.read_page(5).unwrap(), vec![0; 4096]);
+    }
+
+    #[test]
+    fn trim_zeroes_page() {
+        let mut d = ssd();
+        d.write_page(5, vec![7; 4096]).unwrap();
+        d.trim_page(5).unwrap();
+        assert_eq!(d.read_page(5).unwrap(), vec![0; 4096]);
+    }
+
+    #[test]
+    fn no_recovery_on_plain_ssd() {
+        let mut d = ssd();
+        d.write_page(5, vec![7; 4096]).unwrap();
+        d.write_page(5, vec![8; 4096]).unwrap();
+        assert_eq!(d.recover_page(5), None);
+    }
+
+    #[test]
+    fn survives_capacity_churn() {
+        let mut d = ssd();
+        let logical = d.logical_pages();
+        for round in 0..4u8 {
+            for lpa in 0..logical {
+                d.write_page(lpa, vec![round; 4096]).unwrap();
+            }
+        }
+        assert_eq!(d.read_page(0).unwrap(), vec![3; 4096]);
+        assert!(d.ftl_stats().gc_blocks_erased > 0);
+    }
+
+    #[test]
+    fn latency_recorded_with_real_timing() {
+        let mut d = PlainSsd::new(
+            FlashGeometry::small_test(),
+            NandTiming::mlc_default(),
+            SimClock::new(),
+        );
+        d.write_page(0, vec![1; 4096]).unwrap();
+        d.read_page(0).unwrap();
+        assert_eq!(d.latency().count(), 2);
+        assert!(d.latency().mean_ns() > 0.0);
+    }
+}

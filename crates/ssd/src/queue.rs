@@ -1,0 +1,171 @@
+//! Request latency accounting.
+//!
+//! The performance experiment (E3) compares per-request latency and
+//! throughput between the plain SSD and RSSD; this collector keeps a
+//! log-bucketed histogram so million-request runs stay cheap.
+
+use serde::{Deserialize, Serialize};
+
+const BUCKETS: usize = 64;
+
+/// Log₂-bucketed latency histogram with exact mean/min/max.
+///
+/// # Examples
+///
+/// ```
+/// use rssd_ssd::LatencyStats;
+///
+/// let mut stats = LatencyStats::new();
+/// stats.record(1_000);
+/// stats.record(2_000);
+/// assert_eq!(stats.count(), 2);
+/// assert!(stats.mean_ns() > 1_000.0);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyStats {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        LatencyStats {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one request latency in nanoseconds.
+    pub fn record(&mut self, latency_ns: u64) {
+        let bucket = (64 - latency_ns.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(latency_ns);
+        self.min_ns = self.min_ns.min(latency_ns);
+        self.max_ns = self.max_ns.max(latency_ns);
+    }
+
+    /// Number of recorded requests.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (ns); 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_ns as f64 / self.count as f64
+    }
+
+    /// Minimum latency (ns); 0 when empty.
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Maximum latency (ns).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate latency at `quantile` (e.g. `0.99`), resolved to the
+    /// upper edge of the containing log₂ bucket.
+    pub fn quantile_ns(&self, quantile: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (quantile.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ns(), 0.0);
+        assert_eq!(s.min_ns(), 0);
+        assert_eq!(s.quantile_ns(0.5), 0);
+    }
+
+    #[test]
+    fn mean_min_max_exact() {
+        let mut s = LatencyStats::new();
+        s.record(100);
+        s.record(300);
+        assert_eq!(s.mean_ns(), 200.0);
+        assert_eq!(s.min_ns(), 100);
+        assert_eq!(s.max_ns(), 300);
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut s = LatencyStats::new();
+        for i in 1..=1000u64 {
+            s.record(i * 100);
+        }
+        let p50 = s.quantile_ns(0.5);
+        let p99 = s.quantile_ns(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= s.quantile_ns(1.0).max(s.max_ns()));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyStats::new();
+        a.record(10);
+        let mut b = LatencyStats::new();
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_ns(), 10);
+        assert_eq!(a.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn zero_latency_is_representable() {
+        let mut s = LatencyStats::new();
+        s.record(0);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.max_ns(), 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! The generic synthetic workload generator.
+
+use crate::record::{IoOp, IoRecord, PayloadKind};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builder for a synthetic block workload.
+///
+/// # Examples
+///
+/// ```
+/// use rssd_trace::WorkloadBuilder;
+///
+/// let records: Vec<_> = WorkloadBuilder::new(1024)
+///     .seed(7)
+///     .read_fraction(0.3)
+///     .zipf_theta(0.9)
+///     .ops_per_second(1000.0)
+///     .build()
+///     .take(100)
+///     .collect();
+/// assert_eq!(records.len(), 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WorkloadBuilder {
+    logical_pages: u64,
+    seed: u64,
+    read_fraction: f64,
+    trim_fraction: f64,
+    sequential_fraction: f64,
+    zipf_theta: f64,
+    working_set_fraction: f64,
+    mean_request_pages: u32,
+    ops_per_second: f64,
+    start_ns: u64,
+    payload_mix: Vec<(PayloadKind, f64)>,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for a device exporting `logical_pages` pages.
+    pub fn new(logical_pages: u64) -> Self {
+        WorkloadBuilder {
+            logical_pages,
+            seed: 0,
+            read_fraction: 0.5,
+            trim_fraction: 0.0,
+            sequential_fraction: 0.2,
+            zipf_theta: 0.9,
+            working_set_fraction: 0.2,
+            mean_request_pages: 2,
+            ops_per_second: 2_000.0,
+            start_ns: 0,
+            payload_mix: vec![
+                (PayloadKind::Text, 0.45),
+                (PayloadKind::Binary, 0.35),
+                (PayloadKind::Zero, 0.10),
+                (PayloadKind::Random, 0.10),
+            ],
+        }
+    }
+
+    /// RNG seed (workloads are fully deterministic given the seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Fraction of operations that are reads (`0.0..=1.0`).
+    pub fn read_fraction(mut self, f: f64) -> Self {
+        self.read_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of operations that are trims (taken from the write share).
+    pub fn trim_fraction(mut self, f: f64) -> Self {
+        self.trim_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of requests that continue sequentially from the previous.
+    pub fn sequential_fraction(mut self, f: f64) -> Self {
+        self.sequential_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Zipf exponent of the random-access component.
+    pub fn zipf_theta(mut self, theta: f64) -> Self {
+        self.zipf_theta = theta;
+        self
+    }
+
+    /// Fraction of the logical space forming the hot working set.
+    pub fn working_set_fraction(mut self, f: f64) -> Self {
+        self.working_set_fraction = f.clamp(0.001, 1.0);
+        self
+    }
+
+    /// Mean request size in pages (geometric distribution, minimum 1).
+    pub fn mean_request_pages(mut self, pages: u32) -> Self {
+        self.mean_request_pages = pages.max(1);
+        self
+    }
+
+    /// Arrival rate; inter-arrival times are exponential around this rate.
+    pub fn ops_per_second(mut self, rate: f64) -> Self {
+        self.ops_per_second = rate.max(1e-6);
+        self
+    }
+
+    /// First record's arrival time.
+    pub fn start_ns(mut self, t: u64) -> Self {
+        self.start_ns = t;
+        self
+    }
+
+    /// Payload class mix for writes (weights are normalized).
+    pub fn payload_mix(mut self, mix: Vec<(PayloadKind, f64)>) -> Self {
+        assert!(!mix.is_empty(), "payload mix must not be empty");
+        self.payload_mix = mix;
+        self
+    }
+
+    /// Builds the infinite record stream.
+    pub fn build(self) -> Workload {
+        let ws_pages = ((self.logical_pages as f64 * self.working_set_fraction) as u64).max(1);
+        let zipf = Zipf::new(ws_pages.min(1 << 22) as usize, self.zipf_theta);
+        let total_weight: f64 = self.payload_mix.iter().map(|(_, w)| w).sum();
+        Workload {
+            rng: StdRng::seed_from_u64(self.seed),
+            zipf,
+            ws_pages,
+            next_ns: self.start_ns,
+            prev_end_lpa: 0,
+            seed_counter: self.seed.wrapping_mul(0x9E3779B97F4A7C15),
+            total_weight,
+            builder: self,
+        }
+    }
+}
+
+/// An infinite, deterministic stream of [`IoRecord`]s.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    builder: WorkloadBuilder,
+    rng: StdRng,
+    zipf: Zipf,
+    ws_pages: u64,
+    next_ns: u64,
+    prev_end_lpa: u64,
+    seed_counter: u64,
+    total_weight: f64,
+}
+
+impl Workload {
+    fn pick_payload(&mut self) -> PayloadKind {
+        let mut u: f64 = self.rng.gen::<f64>() * self.total_weight;
+        for &(kind, w) in &self.builder.payload_mix {
+            if u < w {
+                return kind;
+            }
+            u -= w;
+        }
+        self.builder.payload_mix.last().expect("non-empty").0
+    }
+
+    fn pick_lpa(&mut self, pages: u32) -> u64 {
+        let max_start = self.builder.logical_pages.saturating_sub(u64::from(pages));
+        if self.rng.gen::<f64>() < self.builder.sequential_fraction {
+            // Continue from the previous request.
+            self.prev_end_lpa.min(max_start)
+        } else {
+            // Zipf rank scattered over the working set via multiplicative
+            // hashing so rank popularity maps to stable page addresses.
+            let rank = self.zipf.sample(&mut self.rng) as u64;
+            let scattered = rank.wrapping_mul(0x9E3779B97F4A7C15) % self.ws_pages;
+            scattered.min(max_start)
+        }
+    }
+}
+
+impl Iterator for Workload {
+    type Item = IoRecord;
+
+    fn next(&mut self) -> Option<IoRecord> {
+        // Exponential inter-arrival around the configured rate.
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let gap_s = -u.ln() / self.builder.ops_per_second;
+        self.next_ns += (gap_s * 1e9) as u64;
+
+        // Geometric request size with the configured mean.
+        let p = 1.0 / f64::from(self.builder.mean_request_pages);
+        let mut pages = 1u32;
+        while self.rng.gen::<f64>() > p && pages < 64 {
+            pages += 1;
+        }
+
+        let roll: f64 = self.rng.gen();
+        let op = if roll < self.builder.read_fraction {
+            IoOp::Read
+        } else if roll < self.builder.read_fraction + self.builder.trim_fraction {
+            IoOp::Trim
+        } else {
+            IoOp::Write
+        };
+
+        let lpa = self.pick_lpa(pages);
+        self.prev_end_lpa = lpa + u64::from(pages);
+        self.seed_counter = self.seed_counter.wrapping_add(0x9E3779B97F4A7C15);
+
+        let payload = if op == IoOp::Write {
+            self.pick_payload()
+        } else {
+            PayloadKind::Zero
+        };
+
+        Some(IoRecord {
+            at_ns: self.next_ns,
+            op,
+            lpa,
+            pages,
+            payload_seed: self.seed_counter,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(builder: WorkloadBuilder, n: usize) -> Vec<IoRecord> {
+        builder.build().take(n).collect()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sample(WorkloadBuilder::new(1024).seed(5), 200);
+        let b = sample(WorkloadBuilder::new(1024).seed(5), 200);
+        assert_eq!(a, b);
+        let c = sample(WorkloadBuilder::new(1024).seed(6), 200);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrival_times_are_monotone() {
+        let recs = sample(WorkloadBuilder::new(1024).seed(1), 500);
+        for w in recs.windows(2) {
+            assert!(w[0].at_ns <= w[1].at_ns);
+        }
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let recs = sample(WorkloadBuilder::new(1024).seed(2).read_fraction(0.8), 5000);
+        let reads = recs.iter().filter(|r| r.op == IoOp::Read).count();
+        let frac = reads as f64 / recs.len() as f64;
+        assert!((frac - 0.8).abs() < 0.05, "read fraction {frac}");
+    }
+
+    #[test]
+    fn trims_generated_when_requested() {
+        let recs = sample(
+            WorkloadBuilder::new(1024)
+                .seed(3)
+                .read_fraction(0.2)
+                .trim_fraction(0.3),
+            5000,
+        );
+        let trims = recs.iter().filter(|r| r.op == IoOp::Trim).count();
+        assert!(trims > 1000, "trims {trims}");
+    }
+
+    #[test]
+    fn requests_stay_in_bounds() {
+        let recs = sample(WorkloadBuilder::new(256).seed(4).mean_request_pages(8), 5000);
+        for r in &recs {
+            assert!(r.lpa + u64::from(r.pages) <= 256 + 64, "record {r:?}");
+            assert!(r.lpa < 256);
+        }
+    }
+
+    #[test]
+    fn rate_controls_time() {
+        let slow = sample(WorkloadBuilder::new(1024).seed(5).ops_per_second(10.0), 100);
+        let fast = sample(
+            WorkloadBuilder::new(1024).seed(5).ops_per_second(10_000.0),
+            100,
+        );
+        assert!(slow.last().unwrap().at_ns > fast.last().unwrap().at_ns * 100);
+    }
+
+    #[test]
+    fn working_set_concentrates_accesses() {
+        let recs = sample(
+            WorkloadBuilder::new(100_000)
+                .seed(6)
+                .working_set_fraction(0.01)
+                .sequential_fraction(0.0),
+            5000,
+        );
+        let in_ws = recs.iter().filter(|r| r.lpa < 1000).count();
+        assert!(
+            in_ws as f64 / recs.len() as f64 > 0.9,
+            "working-set hit fraction {}",
+            in_ws as f64 / recs.len() as f64
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Zipf-distributed sampling for skewed access patterns.
+//!
+//! Block traces are heavily skewed: a small working set absorbs most writes.
+//! The models in [`crate::profiles`] express that skew with a Zipf exponent.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n` using a precomputed CDF.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use rssd_trace::Zipf;
+///
+/// let zipf = Zipf::new(1000, 0.99);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `theta` (`0.0` =
+    /// uniform, `~0.99` = typical storage-trace skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over zero ranks");
+        assert!(theta.is_finite() && theta >= 0.0, "invalid zipf theta");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false: a sampler has at least one rank.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        assert!(
+            f64::from(max) / f64::from(min) < 1.2,
+            "uniform spread, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn skewed_when_theta_high() {
+        let zipf = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0u32;
+        const DRAWS: u32 = 100_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Top 10% of ranks should absorb well over half the draws.
+        assert!(
+            f64::from(head) / f64::from(DRAWS) > 0.6,
+            "head fraction {}",
+            f64::from(head) / f64::from(DRAWS)
+        );
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let zipf = Zipf::new(7, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let zipf = Zipf::new(1, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(zipf.sample(&mut rng), 0);
+        assert_eq!(zipf.len(), 1);
+        assert!(!zipf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf over zero ranks")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build an RSSD, suffer a ransomware attack, recover everything.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rssd_repro::core::{LoopbackTarget, RecoveryEngine, RssdConfig, RssdDevice};
+use rssd_repro::flash::{FlashGeometry, NandTiming, SimClock};
+use rssd_repro::ssd::BlockDevice;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16 MiB simulated SSD on a shared simulation clock, offloading to an
+    // in-process remote target (see `remote_attack_analysis.rs` for the full
+    // NVMe-oE + log-server setup).
+    let clock = SimClock::new();
+    let mut device = RssdDevice::new(
+        FlashGeometry::with_capacity(16 * 1024 * 1024),
+        NandTiming::mlc_default(),
+        clock.clone(),
+        RssdConfig::default(),
+        LoopbackTarget::new(),
+    );
+    println!(
+        "device: {} | {} logical pages x {} B",
+        device.model_name(),
+        device.logical_pages(),
+        device.page_size()
+    );
+
+    // Write some user data.
+    let original = vec![0x42u8; device.page_size()];
+    for lpa in 0..64u64 {
+        device.write_page(lpa, original.clone())?;
+    }
+
+    // Ransomware strikes: reads the data, overwrites it with "ciphertext".
+    clock.advance(1_000_000_000);
+    let attack_start = clock.now_ns();
+    for lpa in 0..64u64 {
+        let mut page = device.read_page(lpa)?;
+        for (i, byte) in page.iter_mut().enumerate() {
+            *byte ^= (i as u8).wrapping_mul(197).wrapping_add(lpa as u8);
+        }
+        device.write_page(lpa, page)?;
+    }
+    assert_ne!(device.read_page(0)?, original, "data is encrypted");
+
+    // Zero data loss: every pre-attack page is still retained.
+    let victims: Vec<u64> = (0..64).collect();
+    let report = RecoveryEngine::new().restore_before(&mut device, &victims, attack_start);
+    println!(
+        "recovered {} pages ({} unrecoverable) in {:.2} simulated ms",
+        report.pages_restored,
+        report.pages_unrecoverable,
+        report.duration_ns as f64 / 1e6
+    );
+    assert_eq!(device.read_page(0)?, original, "data restored");
+
+    // And the whole incident is in the tamper-evident evidence chain.
+    let history = device.verified_history().map_err(|e| e.to_string())?;
+    println!(
+        "evidence chain verified: {} records, head {}",
+        history.len(),
+        device.chain_head()
+    );
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Workspace facade for the RSSD (ASPLOS'22) reproduction.
+//!
+//! Re-exports the per-subsystem crates so examples and integration tests can
+//! use a single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use rssd_attacks as attacks;
+pub use rssd_compress as compress;
+pub use rssd_core as core;
+pub use rssd_crypto as crypto;
+pub use rssd_detect as detect;
+pub use rssd_flash as flash;
+pub use rssd_ftl as ftl;
+pub use rssd_net as net;
+pub use rssd_remote as remote;
+pub use rssd_ssd as ssd;
+pub use rssd_trace as trace;
