@@ -110,11 +110,8 @@ impl GcAttack {
         let page_size = device.page_size();
         for round in 0..self.flood_rounds {
             for lpa in flood_start..logical {
-                let junk = synthesize_page(
-                    PayloadKind::Binary,
-                    u64::from(round) << 32 | lpa,
-                    page_size,
-                );
+                let junk =
+                    synthesize_page(PayloadKind::Binary, u64::from(round) << 32 | lpa, page_size);
                 match device.write_page(lpa, junk) {
                     Ok(()) => outcome.flood_pages += 1,
                     Err(DeviceError::Stalled) => {}

@@ -106,9 +106,7 @@ mod tests {
     use crate::actors::{ClassicRansomware, GcAttack, TimingAttack, TrimAttack};
     use rssd_core::{LoopbackTarget, RssdConfig, RssdDevice};
     use rssd_flash::{FlashGeometry, NandTiming, SimClock};
-    use rssd_ssd::{
-        FlashGuardConfig, FlashGuardSsd, PlainSsd, RetentionMode, RetentionSsd,
-    };
+    use rssd_ssd::{FlashGuardConfig, FlashGuardSsd, PlainSsd, RetentionMode, RetentionSsd};
 
     fn geometry() -> FlashGeometry {
         FlashGeometry::small_test()
@@ -199,8 +197,7 @@ mod tests {
     #[test]
     fn flashguard_survives_classic_and_gc() {
         for flood in [false, true] {
-            let mut d =
-                FlashGuardSsd::new(geometry(), NandTiming::instant(), SimClock::new());
+            let mut d = FlashGuardSsd::new(geometry(), NandTiming::instant(), SimClock::new());
             let table = FileTable::populate(&mut d, 4, 4, 7).unwrap();
             let outcome = if flood {
                 GcAttack::new(1, 2).execute(&mut d, &table).unwrap()
@@ -208,7 +205,11 @@ mod tests {
                 ClassicRansomware::new(1).execute(&mut d, &table).unwrap()
             };
             let result = evaluate_recovery(&mut d, &table, &outcome);
-            assert_eq!(result.grade, RecoveryGrade::Full, "flood={flood} {result:?}");
+            assert_eq!(
+                result.grade,
+                RecoveryGrade::Full,
+                "flood={flood} {result:?}"
+            );
         }
     }
 

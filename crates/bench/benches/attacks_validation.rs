@@ -23,13 +23,9 @@ fn survival(model: &str, attack: &str) -> f64 {
         let outcome = match attack {
             "classic" => ClassicRansomware::new(1).execute(&mut d, &table).unwrap(),
             "gc" => GcAttack::new(1, 5).execute(&mut d, &table).unwrap(),
-            "timing" => TimingAttack::new(
-                1,
-                4,
-                FlashGuardConfig::default().suspect_window_ns + 1,
-            )
-            .execute(&mut d, &table, |_| Ok(()))
-            .unwrap(),
+            "timing" => TimingAttack::new(1, 4, FlashGuardConfig::default().suspect_window_ns + 1)
+                .execute(&mut d, &table, |_| Ok(()))
+                .unwrap(),
             "trim" => TrimAttack::new(1, false).execute(&mut d, &table).unwrap(),
             other => panic!("unknown attack {other}"),
         };

@@ -1,7 +1,7 @@
 //! **E6**: "efficient post-attack analysis; trusted evidence chain".
 //!
 //! Measures: evidence-chain construction throughput, end-to-end verification
-//! + analysis time as the log grows, per-LPA backtracking, and — the
+//! and analysis time as the log grows, per-LPA backtracking, and — the
 //! *trusted* part — that any tampering with the stored history is detected.
 
 use criterion::{criterion_group, Criterion};

@@ -43,10 +43,7 @@ fn run_policy(policy: GcPolicy) -> (f64, u64) {
         }
         ftl.drain_stale_events();
     }
-    (
-        ftl.stats().write_amplification(),
-        ftl.nand_stats().erases(),
-    )
+    (ftl.stats().write_amplification(), ftl.nand_stats().erases())
 }
 
 fn run_segment_size(segment_pages: usize) -> (f64, u64) {

@@ -23,7 +23,9 @@ struct LifetimeRow {
 fn run_plain(profile: &TraceProfile) -> LifetimeRow {
     let g = bench_geometry();
     let mut d = mk_plain(g, NandTiming::instant(), SimClock::new());
-    let recs = profile.workload(d.logical_pages(), d.page_size(), 3).take(OPS);
+    let recs = profile
+        .workload(d.logical_pages(), d.page_size(), 3)
+        .take(OPS);
     replay(&mut d, recs);
     LifetimeRow {
         waf: d.ftl_stats().write_amplification(),
@@ -35,7 +37,9 @@ fn run_plain(profile: &TraceProfile) -> LifetimeRow {
 fn run_rssd(profile: &TraceProfile) -> LifetimeRow {
     let g = bench_geometry();
     let mut d = mk_rssd(g, NandTiming::instant(), SimClock::new());
-    let recs = profile.workload(d.logical_pages(), d.page_size(), 3).take(OPS);
+    let recs = profile
+        .workload(d.logical_pages(), d.page_size(), 3)
+        .take(OPS);
     replay(&mut d, recs);
     LifetimeRow {
         waf: d.ftl_stats().write_amplification(),

@@ -48,7 +48,11 @@ fn print_report() {
             raw += page.len();
             packed += frame.len();
         }
-        println!("{:<10} {:>8.2}x", format!("{kind:?}"), raw as f64 / packed as f64);
+        println!(
+            "{:<10} {:>8.2}x",
+            format!("{kind:?}"),
+            raw as f64 / packed as f64
+        );
     }
     println!("Paper: retained pages leave compressed+encrypted; ciphertext ~1x.\n");
 }

@@ -35,7 +35,11 @@ fn pattern(name: &str, logical_pages: u64) -> Vec<IoRecord> {
     records
 }
 
-fn mean_latency<D: BlockDevice>(device: &mut D, records: Vec<IoRecord>, latency: impl Fn(&D) -> f64) -> f64 {
+fn mean_latency<D: BlockDevice>(
+    device: &mut D,
+    records: Vec<IoRecord>,
+    latency: impl Fn(&D) -> f64,
+) -> f64 {
     replay(device, records);
     latency(device)
 }

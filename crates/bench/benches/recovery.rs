@@ -43,10 +43,16 @@ fn print_table() {
     );
     for &pages in &[64u64, 256, 512] {
         let (ms, restored) = run_recovery(pages, false);
-        println!("{:<16} {:>12} {:>18.2} {:>14}", "classic", pages, ms, restored);
+        println!(
+            "{:<16} {:>12} {:>18.2} {:>14}",
+            "classic", pages, ms, restored
+        );
     }
     let (ms, restored) = run_recovery(256, true);
-    println!("{:<16} {:>12} {:>18.2} {:>14}", "trimming", 256, ms, restored);
+    println!(
+        "{:<16} {:>12} {:>18.2} {:>14}",
+        "trimming", 256, ms, restored
+    );
 
     // Full pipeline: analyze → recover, as an operator would.
     let g = bench_geometry();

@@ -29,7 +29,12 @@ enum Attack {
 }
 
 impl Attack {
-    const ALL: [Attack; 4] = [Attack::Classic, Attack::Gc, Attack::Timing, Attack::Trimming];
+    const ALL: [Attack; 4] = [
+        Attack::Classic,
+        Attack::Gc,
+        Attack::Timing,
+        Attack::Trimming,
+    ];
 
     fn name(self) -> &'static str {
         match self {
@@ -41,18 +46,17 @@ impl Attack {
     }
 
     fn run<D: BlockDevice + ?Sized>(self, device: &mut D, victims: &FileTable) -> DefenseOutcome {
-        let outcome = match self {
-            Attack::Classic => ClassicRansomware::new(1).execute(device, victims),
-            Attack::Gc => GcAttack::new(1, 5).execute(device, victims),
-            Attack::Timing => TimingAttack::new(
-                1,
-                4,
-                FlashGuardConfig::default().suspect_window_ns + 1,
-            )
-            .execute(device, victims, |_| Ok(())),
-            Attack::Trimming => TrimAttack::new(1, false).execute(device, victims),
-        }
-        .expect("attack runs to completion");
+        let outcome =
+            match self {
+                Attack::Classic => ClassicRansomware::new(1).execute(device, victims),
+                Attack::Gc => GcAttack::new(1, 5).execute(device, victims),
+                Attack::Timing => {
+                    TimingAttack::new(1, 4, FlashGuardConfig::default().suspect_window_ns + 1)
+                        .execute(device, victims, |_| Ok(()))
+                }
+                Attack::Trimming => TrimAttack::new(1, false).execute(device, victims),
+            }
+            .expect("attack runs to completion");
         evaluate_recovery(device, victims, &outcome)
     }
 }

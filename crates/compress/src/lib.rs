@@ -174,7 +174,11 @@ mod tests {
     fn zero_page_compresses_heavily() {
         let page = vec![0u8; 4096];
         let frame = compress_adaptive(&page);
-        assert!(frame.len() < 64, "zero page frame was {} bytes", frame.len());
+        assert!(
+            frame.len() < 64,
+            "zero page frame was {} bytes",
+            frame.len()
+        );
         assert_eq!(decompress(&frame).unwrap(), page);
     }
 

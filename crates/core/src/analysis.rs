@@ -114,9 +114,7 @@ impl PostAttackAnalyzer {
                     trimmed_victims += 1;
                 }
                 LogOp::Write => {
-                    if record.old_page_index.is_some()
-                        && record.entropy_bits() >= CIPHERTEXT_BITS
-                    {
+                    if record.old_page_index.is_some() && record.entropy_bits() >= CIPHERTEXT_BITS {
                         victim_lpas.insert(record.lpa);
                         malicious_times.push(record.at_ns);
                     } else {
@@ -156,9 +154,7 @@ impl PostAttackAnalyzer {
             // fresh writes (to force GC) is the GC attack.
             if span_hours > 24.0 && rate_per_hour < 100.0 {
                 AttackClass::TimingAttack
-            } else if fresh_write_pages > 4 * victim_lpas.len() as u64
-                && fresh_write_pages > 1000
-            {
+            } else if fresh_write_pages > 4 * victim_lpas.len() as u64 && fresh_write_pages > 1000 {
                 AttackClass::GcAttack
             } else {
                 AttackClass::Classic
@@ -184,7 +180,7 @@ impl PostAttackAnalyzer {
 
     /// Backtracks the operations that touched `lpa`, newest first — the
     /// "evidence chain for one file" an investigator pulls.
-    pub fn backtrack_lpa<'a>(history: &'a [LogRecord], lpa: u64) -> Vec<&'a LogRecord> {
+    pub fn backtrack_lpa(history: &[LogRecord], lpa: u64) -> Vec<&LogRecord> {
         let mut ops: Vec<&LogRecord> = history.iter().filter(|r| r.lpa == lpa).collect();
         ops.reverse();
         ops
@@ -195,7 +191,14 @@ impl PostAttackAnalyzer {
 mod tests {
     use super::*;
 
-    fn write(seq: u64, at_ns: u64, lpa: u64, entropy: f64, old: bool, read_before: bool) -> LogRecord {
+    fn write(
+        seq: u64,
+        at_ns: u64,
+        lpa: u64,
+        entropy: f64,
+        old: bool,
+        read_before: bool,
+    ) -> LogRecord {
         LogRecord {
             seq,
             at_ns,

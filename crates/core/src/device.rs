@@ -391,13 +391,14 @@ impl<R: RemoteTarget> RssdDevice<R> {
                 for rec in &segment.records {
                     if let Some(idx) = rec.old_page_index {
                         self.ftl.unpin_page(geometry.page_from_index(idx));
-                        self.remote_index.entry(rec.lpa).or_default().push(
-                            RemoteVersion {
+                        self.remote_index
+                            .entry(rec.lpa)
+                            .or_default()
+                            .push(RemoteVersion {
                                 segment_seq: segment.segment_seq,
                                 invalidated_at_ns: rec.at_ns,
                                 record_seq: rec.seq,
-                            },
-                        );
+                            });
                     }
                 }
                 self.stats.segments_offloaded += 1;

@@ -377,8 +377,7 @@ mod tests {
             links,
         };
         let decoded = Segment::from_bytes(&seg.to_bytes()).unwrap();
-        let chain_inputs: Vec<Vec<u8>> =
-            decoded.records.iter().map(|r| r.chain_bytes()).collect();
+        let chain_inputs: Vec<Vec<u8>> = decoded.records.iter().map(|r| r.chain_bytes()).collect();
         HashChain::verify_sequence(b"k", &chain_inputs, &decoded.links).unwrap();
     }
 }

@@ -135,8 +135,7 @@ mod tests {
             d.write_page(lpa, page(0xEE)).unwrap(); // "ciphertext"
         }
         let victims: Vec<u64> = (0..20).collect();
-        let report =
-            RecoveryEngine::new().restore_before(&mut d, &victims, attack_start);
+        let report = RecoveryEngine::new().restore_before(&mut d, &victims, attack_start);
         assert_eq!(report.pages_restored, 20);
         assert_eq!(report.pages_unrecoverable, 0);
         assert_eq!(report.recovery_rate(), 1.0);
@@ -159,8 +158,7 @@ mod tests {
         }
         d.flush_log().unwrap();
         let victims: Vec<u64> = (0..10).collect();
-        let report =
-            RecoveryEngine::new().restore_before(&mut d, &victims, attack_start);
+        let report = RecoveryEngine::new().restore_before(&mut d, &victims, attack_start);
         assert_eq!(report.pages_restored, 10);
         for lpa in 0..10u64 {
             assert_eq!(d.read_page(lpa).unwrap(), page(lpa as u8));
@@ -180,8 +178,7 @@ mod tests {
             d.trim_page(lpa).unwrap();
         }
         let victims: Vec<u64> = (0..10).collect();
-        let report =
-            RecoveryEngine::new().restore_before(&mut d, &victims, attack_start);
+        let report = RecoveryEngine::new().restore_before(&mut d, &victims, attack_start);
         assert_eq!(report.pages_restored, 10);
         assert_eq!(d.read_page(3).unwrap(), page(7));
     }

@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn stores_and_fetches() {
         let mut t = LoopbackTarget::new();
-        t.store_segment(envelope(0, Digest::ZERO, digest(1)), 100).unwrap();
+        t.store_segment(envelope(0, Digest::ZERO, digest(1)), 100)
+            .unwrap();
         let fetched = t.fetch_segment(0).unwrap();
         assert_eq!(fetched.segment_seq, 0);
         assert_eq!(t.stored_segments(), vec![0]);
@@ -177,9 +178,11 @@ mod tests {
     #[test]
     fn enforces_chain_continuity() {
         let mut t = LoopbackTarget::new();
-        t.store_segment(envelope(0, Digest::ZERO, digest(1)), 0).unwrap();
+        t.store_segment(envelope(0, Digest::ZERO, digest(1)), 0)
+            .unwrap();
         // Extending from the stored head works.
-        t.store_segment(envelope(1, digest(1), digest(2)), 0).unwrap();
+        t.store_segment(envelope(1, digest(1), digest(2)), 0)
+            .unwrap();
         // A forged/rewound head is rejected.
         let err = t
             .store_segment(envelope(2, digest(9), digest(3)), 0)
@@ -202,6 +205,7 @@ mod tests {
             Err(RemoteError::Unreachable)
         );
         t.set_reachable(true);
-        t.store_segment(envelope(0, Digest::ZERO, digest(1)), 0).unwrap();
+        t.store_segment(envelope(0, Digest::ZERO, digest(1)), 0)
+            .unwrap();
     }
 }

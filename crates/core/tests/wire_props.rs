@@ -16,17 +16,15 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
         proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256)),
     )
         .prop_map(
-            |(seq, at_ns, op, lpa, old_page_index, entropy_mil, read_before, old_data)| {
-                LogRecord {
-                    seq,
-                    at_ns,
-                    op,
-                    lpa,
-                    old_page_index,
-                    entropy_mil,
-                    read_before,
-                    old_data,
-                }
+            |(seq, at_ns, op, lpa, old_page_index, entropy_mil, read_before, old_data)| LogRecord {
+                seq,
+                at_ns,
+                op,
+                lpa,
+                old_page_index,
+                entropy_mil,
+                read_before,
+                old_data,
             },
         )
 }

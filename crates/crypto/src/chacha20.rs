@@ -95,8 +95,8 @@ impl ChaCha20 {
             Self::quarter_round(&mut working, 2, 7, 8, 13);
             Self::quarter_round(&mut working, 3, 4, 9, 14);
         }
-        for i in 0..16 {
-            let word = working[i].wrapping_add(self.state[i]);
+        for (i, w) in working.iter().enumerate() {
+            let word = w.wrapping_add(self.state[i]);
             self.keystream[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
         }
         self.state[12] = self.state[12].wrapping_add(1);

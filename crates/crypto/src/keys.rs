@@ -71,7 +71,9 @@ pub struct DeviceKeys {
 impl std::fmt::Debug for DeviceKeys {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print the root secret.
-        f.debug_struct("DeviceKeys").field("root", &"<sealed>").finish()
+        f.debug_struct("DeviceKeys")
+            .field("root", &"<sealed>")
+            .finish()
     }
 }
 

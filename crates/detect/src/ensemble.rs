@@ -168,7 +168,12 @@ mod tests {
         // window-based detectors see mostly benign traffic in between.
         for h in 0..300u64 {
             for k in 0..8u64 {
-                e.observe(&WriteObservation::overwrite(h * hour, h * 8 + k, 7.9, false));
+                e.observe(&WriteObservation::overwrite(
+                    h * hour,
+                    h * 8 + k,
+                    7.9,
+                    false,
+                ));
             }
             for b in 0..100u64 {
                 e.observe(&WriteObservation::fresh_write(

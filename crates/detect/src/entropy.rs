@@ -55,10 +55,8 @@ impl Detector for EntropyDetector {
         if high {
             self.high_count += 1;
         }
-        if self.recent.len() > self.window {
-            if self.recent.pop_front() == Some(true) {
-                self.high_count -= 1;
-            }
+        if self.recent.len() > self.window && self.recent.pop_front() == Some(true) {
+            self.high_count -= 1;
         }
     }
 
@@ -81,7 +79,9 @@ mod tests {
 
     fn feed(det: &mut EntropyDetector, n: usize, entropy: f64) {
         for i in 0..n {
-            det.observe(&WriteObservation::overwrite(i as u64, i as u64, entropy, false));
+            det.observe(&WriteObservation::overwrite(
+                i as u64, i as u64, entropy, false,
+            ));
         }
     }
 
@@ -112,7 +112,11 @@ mod tests {
         for i in 0..100 {
             d.observe(&WriteObservation::fresh_write(i, i, 8.0));
         }
-        assert_eq!(d.score(), 0.0, "high-entropy *new* data is not encryption of user data");
+        assert_eq!(
+            d.score(),
+            0.0,
+            "high-entropy *new* data is not encryption of user data"
+        );
     }
 
     #[test]

@@ -51,10 +51,8 @@ impl Detector for OverwriteCorrelator {
         if obs.read_before_overwrite {
             self.correlated += 1;
         }
-        if self.recent.len() > self.window {
-            if self.recent.pop_front() == Some(true) {
-                self.correlated -= 1;
-            }
+        if self.recent.len() > self.window && self.recent.pop_front() == Some(true) {
+            self.correlated -= 1;
         }
     }
 

@@ -58,8 +58,9 @@ impl FlashGeometry {
     /// Panics if `capacity_bytes` is too small for even one block per plane.
     pub fn with_capacity(capacity_bytes: u64) -> Self {
         let base = FlashGeometry::bench_default();
-        let plane_count =
-            u64::from(base.channels) * u64::from(base.chips_per_channel) * u64::from(base.planes_per_chip);
+        let plane_count = u64::from(base.channels)
+            * u64::from(base.chips_per_channel)
+            * u64::from(base.planes_per_chip);
         let block_bytes = u64::from(base.pages_per_block) * base.page_size as u64;
         let blocks_per_plane = capacity_bytes / (plane_count * block_bytes);
         assert!(
@@ -104,7 +105,10 @@ impl FlashGeometry {
     ///
     /// Panics if `block_index >= total_blocks()`.
     pub fn block_to_ppa(&self, block_index: u32) -> Ppa {
-        assert!(block_index < self.total_blocks(), "block index out of range");
+        assert!(
+            block_index < self.total_blocks(),
+            "block index out of range"
+        );
         let blocks_per_chip = self.planes_per_chip * self.blocks_per_plane;
         let blocks_per_channel = self.chips_per_channel * blocks_per_chip;
         let channel = block_index / blocks_per_channel;

@@ -516,7 +516,10 @@ mod tests {
         nand.erase_block(ppa).unwrap();
         assert_eq!(nand.block_state(ppa).unwrap(), BlockState::Bad);
         assert_eq!(nand.erase_block(ppa), Err(NandError::BadBlock(ppa)));
-        assert_eq!(nand.program(ppa, page(0), oob(0)), Err(NandError::BadBlock(ppa)));
+        assert_eq!(
+            nand.program(ppa, page(0), oob(0)),
+            Err(NandError::BadBlock(ppa))
+        );
     }
 
     #[test]
@@ -550,7 +553,10 @@ mod tests {
         let ppa = Ppa::new(0, 0, 0, 0, 0);
         nand.program(ppa, page(1), oob(0)).unwrap();
         let after_program = clock.now_ns();
-        assert_eq!(after_program, NandTiming::mlc_default().program_latency(4096));
+        assert_eq!(
+            after_program,
+            NandTiming::mlc_default().program_latency(4096)
+        );
         nand.read(ppa).unwrap();
         assert!(clock.now_ns() > after_program);
     }
@@ -558,11 +564,8 @@ mod tests {
     #[test]
     fn oob_carries_timestamp_and_seq() {
         let clock = SimClock::starting_at(1234);
-        let mut nand = NandArray::with_clock(
-            FlashGeometry::small_test(),
-            NandTiming::instant(),
-            clock,
-        );
+        let mut nand =
+            NandArray::with_clock(FlashGeometry::small_test(), NandTiming::instant(), clock);
         let ppa = Ppa::new(0, 0, 0, 0, 0);
         nand.program(ppa, page(1), oob(5)).unwrap();
         let meta = nand.read_oob(ppa).unwrap();

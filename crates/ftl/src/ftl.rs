@@ -419,8 +419,7 @@ impl Ftl {
 
     fn acquire_host_page(&mut self) -> Result<Ppa, FtlError> {
         loop {
-            let can_open_new =
-                self.allocator.free_blocks() > self.config.gc_reserved_blocks;
+            let can_open_new = self.allocator.free_blocks() > self.config.gc_reserved_blocks;
             if self.allocator.has_room(Stream::Host) || can_open_new {
                 return self
                     .allocator
@@ -536,14 +535,8 @@ mod tests {
             ftl.write(lp, page(0)),
             Err(FtlError::LpaOutOfRange { .. })
         ));
-        assert!(matches!(
-            ftl.read(lp),
-            Err(FtlError::LpaOutOfRange { .. })
-        ));
-        assert!(matches!(
-            ftl.trim(lp),
-            Err(FtlError::LpaOutOfRange { .. })
-        ));
+        assert!(matches!(ftl.read(lp), Err(FtlError::LpaOutOfRange { .. })));
+        assert!(matches!(ftl.trim(lp), Err(FtlError::LpaOutOfRange { .. })));
     }
 
     #[test]
@@ -567,7 +560,8 @@ mod tests {
         }
         assert!(ftl.stats().gc_blocks_erased > 0, "GC should have run");
         for lpa in 0..8u64 {
-            assert_eq!(ftl.read(lpa).unwrap().unwrap(), page((199 % 251) as u8));
+            // Last round was 199, and 199 % 251 == 199.
+            assert_eq!(ftl.read(lpa).unwrap().unwrap(), page(199));
         }
         assert!(ftl.stats().write_amplification() >= 1.0);
     }

@@ -106,8 +106,8 @@ impl SimLink {
     pub fn transmit(&mut self, frame: &EthernetFrame, now_ns: u64) -> Option<u64> {
         self.frames_offered += 1;
         let start = self.busy_until_ns.max(now_ns);
-        let serialize_ns = frame.wire_bytes() as u64 * 1_000_000_000
-            / self.config.bandwidth_bytes_per_sec.max(1);
+        let serialize_ns =
+            frame.wire_bytes() as u64 * 1_000_000_000 / self.config.bandwidth_bytes_per_sec.max(1);
         self.busy_until_ns = start + serialize_ns;
 
         let dropped =

@@ -237,13 +237,14 @@ impl NvmeOeEndpoint {
                     MacAddr::DEVICE,
                     Bytes::from(capsule.to_bytes()),
                 );
-                self.device_nic.enqueue_tx(frame).expect("tx ring sized for batch");
+                self.device_nic
+                    .enqueue_tx(frame)
+                    .expect("tx ring sized for batch");
                 let frame = self.device_nic.dequeue_tx().expect("just queued");
                 if let Some(arrival) = self.to_remote.transmit(&frame, t) {
                     self.remote_nic.deliver_rx(frame).expect("rx ring sized");
                     let frame = self.remote_nic.dequeue_rx().expect("just delivered");
-                    let capsule =
-                        Capsule::from_bytes(&frame.payload).expect("well-formed capsule");
+                    let capsule = Capsule::from_bytes(&frame.payload).expect("well-formed capsule");
                     debug_assert_eq!(capsule.kind, CapsuleKind::SegmentWrite);
                     received[i] = Some(capsule.payload);
                     last_arrival = last_arrival.max(arrival);

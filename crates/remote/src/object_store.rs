@@ -73,8 +73,7 @@ impl ObjectStore {
     /// Stores `data` under `key`, returning the simulated completion time.
     pub fn put(&mut self, key: &str, data: Vec<u8>, now_ns: u64) -> u64 {
         self.stats.puts += 1;
-        let cost =
-            self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
+        let cost = self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
         if let Some(old) = self.objects.insert(key.to_string(), data) {
             self.stats.stored_bytes -= old.len() as u64;
         }
@@ -86,8 +85,7 @@ impl ObjectStore {
     pub fn get(&mut self, key: &str, now_ns: u64) -> Option<(Vec<u8>, u64)> {
         self.stats.gets += 1;
         let data = self.objects.get(key)?.clone();
-        let cost =
-            self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
+        let cost = self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
         Some((data, now_ns + cost))
     }
 

@@ -7,7 +7,7 @@
 //! decrypted records.
 
 use rssd_core::{LogOp, PostAttackAnalyzer, RemoteError, RemoteTarget, SegmentEnvelope, StoreAck};
-use rssd_crypto::{Digest, DeviceKeys};
+use rssd_crypto::{DeviceKeys, Digest};
 use rssd_detect::{Ensemble, Verdict};
 use rssd_net::{LinkConfig, NvmeOeEndpoint, SecureSession, TransferStats};
 use serde::{Deserialize, Serialize};
@@ -182,9 +182,9 @@ impl RemoteTarget for RemoteLogServer {
             self.fabric
                 .transfer_segment(envelope.segment_seq, &wire, now_ns);
         debug_assert_eq!(delivered, wire, "fabric must deliver intact");
-        let durable_at_ns = self
-            .store
-            .put(&Self::segment_key(envelope.segment_seq), wire, arrival_ns);
+        let durable_at_ns =
+            self.store
+                .put(&Self::segment_key(envelope.segment_seq), wire, arrival_ns);
 
         self.last_head = Some(envelope.chain_head);
         self.segment_index.push(envelope.segment_seq);

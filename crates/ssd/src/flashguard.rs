@@ -84,8 +84,7 @@ impl FlashGuardSsd {
     ) -> Self {
         let nand = NandArray::with_clock(geometry, timing, clock);
         let ftl = Ftl::new(nand, FtlConfig::default());
-        let spare =
-            geometry.capacity_bytes() - ftl.logical_pages() * geometry.page_size as u64;
+        let spare = geometry.capacity_bytes() - ftl.logical_pages() * geometry.page_size as u64;
         FlashGuardSsd {
             ftl,
             config,
@@ -128,10 +127,9 @@ impl FlashGuardSsd {
                 // attack walks straight through this gap.
                 continue;
             }
-            let suspicious = self
-                .last_read_ns
-                .get(&event.lpa)
-                .is_some_and(|&read_ns| now.saturating_sub(read_ns) <= self.config.suspect_window_ns);
+            let suspicious = self.last_read_ns.get(&event.lpa).is_some_and(|&read_ns| {
+                now.saturating_sub(read_ns) <= self.config.suspect_window_ns
+            });
             if suspicious {
                 self.ftl.pin_page(event.ppa);
                 let id = self.next_id;

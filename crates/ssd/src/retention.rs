@@ -99,8 +99,7 @@ impl RetentionSsd {
     ) -> Self {
         let nand = NandArray::with_clock(geometry, timing, clock);
         let ftl = Ftl::new(nand, FtlConfig::default());
-        let spare = geometry.capacity_bytes()
-            - ftl.logical_pages() * geometry.page_size as u64;
+        let spare = geometry.capacity_bytes() - ftl.logical_pages() * geometry.page_size as u64;
         let budget_bytes = (spare as f64 * Self::BUDGET_FRACTION) as u64;
         RetentionSsd {
             ftl,

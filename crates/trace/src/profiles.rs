@@ -138,8 +138,7 @@ impl TraceProfile {
         let ops_per_second = write_ops_per_day / write_share / 86_400.0;
 
         let zero_weight = 0.08;
-        let binary_weight =
-            (1.0 - self.text_weight - self.random_weight - zero_weight).max(0.0);
+        let binary_weight = (1.0 - self.text_weight - self.random_weight - zero_weight).max(0.0);
         WorkloadBuilder::new(logical_pages)
             .seed(seed)
             .read_fraction(self.read_fraction)
@@ -172,8 +171,8 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "hm", "src", "ts", "wdev", "rsrch", "stg", "usr", "home", "mail", "online",
-                "web", "webusers"
+                "hm", "src", "ts", "wdev", "rsrch", "stg", "usr", "home", "mail", "online", "web",
+                "webusers"
             ]
         );
     }

@@ -273,7 +273,10 @@ mod tests {
 
     #[test]
     fn requests_stay_in_bounds() {
-        let recs = sample(WorkloadBuilder::new(256).seed(4).mean_request_pages(8), 5000);
+        let recs = sample(
+            WorkloadBuilder::new(256).seed(4).mean_request_pages(8),
+            5000,
+        );
         for r in &recs {
             assert!(r.lpa + u64::from(r.pages) <= 256 + 64, "record {r:?}");
             assert!(r.lpa < 256);

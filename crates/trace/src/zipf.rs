@@ -83,10 +83,7 @@ mod tests {
         for _ in 0..100_000 {
             counts[zipf.sample(&mut rng)] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(
             f64::from(max) / f64::from(min) < 1.2,
             "uniform spread, got {counts:?}"

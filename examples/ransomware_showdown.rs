@@ -35,7 +35,10 @@ fn attack_device<D: BlockDevice>(mut device: D, attack: &str) -> (String, f64) {
 
 fn main() {
     let geometry = FlashGeometry::with_capacity(32 * 1024 * 1024);
-    println!("victim corpus: {FILES} files x {PAGES} pages, device {} MiB\n", 32);
+    println!(
+        "victim corpus: {FILES} files x {PAGES} pages, device {} MiB\n",
+        32
+    );
     println!(
         "{:<22} {:>9} {:>9} {:>9} {:>9}",
         "Device", "classic", "gc-flood", "timing", "trimming"
@@ -49,9 +52,7 @@ fn main() {
             let clock = SimClock::new();
             let (model_name, fraction) = match model {
                 "plain" => attack_device(PlainSsd::new(geometry, timing, clock), attack),
-                "flashguard" => {
-                    attack_device(FlashGuardSsd::new(geometry, timing, clock), attack)
-                }
+                "flashguard" => attack_device(FlashGuardSsd::new(geometry, timing, clock), attack),
                 "localssd" => attack_device(
                     RetentionSsd::new(geometry, timing, clock, RetentionMode::RetainAll),
                     attack,

@@ -42,7 +42,9 @@ fn classic_attack_detected_analyzed_recovered_over_real_stack() {
     let victims = FileTable::populate(&mut device, 12, 8, 7).unwrap();
 
     clock.advance(1_000_000_000);
-    let outcome = ClassicRansomware::new(5).execute(&mut device, &victims).unwrap();
+    let outcome = ClassicRansomware::new(5)
+        .execute(&mut device, &victims)
+        .unwrap();
     device.flush_log().unwrap();
 
     // Remote detection fired.
@@ -74,7 +76,9 @@ fn trimming_attack_fully_recovered_and_classified() {
     let victims = FileTable::populate(&mut device, 24, 8, 3).unwrap();
     clock.advance(1_000_000);
 
-    let outcome = TrimAttack::new(2, true).execute(&mut device, &victims).unwrap();
+    let outcome = TrimAttack::new(2, true)
+        .execute(&mut device, &victims)
+        .unwrap();
     assert!(outcome.pages_trimmed > 0);
     device.flush_log().unwrap();
 
@@ -160,7 +164,9 @@ fn network_partition_preserves_data_and_heals() {
     // Partition the network, then attack.
     device.remote_mut().set_reachable(false);
     clock.advance(1_000_000);
-    let outcome = ClassicRansomware::new(5).execute(&mut device, &victims).unwrap();
+    let outcome = ClassicRansomware::new(5)
+        .execute(&mut device, &victims)
+        .unwrap();
 
     // Conservative retention: recoverable locally even with the remote dark.
     let result = evaluate_recovery(&mut device, &victims, &outcome);
@@ -190,7 +196,9 @@ fn evidence_chain_spans_trace_and_attack() {
         .collect();
     replay(&mut device, records);
     clock.advance(1_000);
-    ClassicRansomware::new(5).execute(&mut device, &victims).unwrap();
+    ClassicRansomware::new(5)
+        .execute(&mut device, &victims)
+        .unwrap();
     device.flush_log().unwrap();
 
     let history = device.verified_history().unwrap();

@@ -9,7 +9,7 @@
 //!    exactly the operations issued, in order.
 
 use proptest::prelude::*;
-use rssd_repro::core::{LoopbackTarget, LogOp, RssdConfig, RssdDevice};
+use rssd_repro::core::{LogOp, LoopbackTarget, RssdConfig, RssdDevice};
 use rssd_repro::flash::{FlashGeometry, NandTiming, SimClock};
 use rssd_repro::ssd::{BlockDevice, PlainSsd, RetentionMode, RetentionSsd};
 use std::collections::HashMap;

@@ -1,0 +1,15 @@
+//! Marker-trait subset of `serde` (offline stub; see `vendor/README.md`).
+//!
+//! The workspace's types derive `Serialize`/`Deserialize` to document
+//! wire-format intent, but every actual encoder is hand-rolled, so the
+//! traits carry no methods and the derives (from the sibling
+//! `serde_derive` stub) expand to nothing.
+
+/// Marker for types that are serializable. No methods; see crate docs.
+pub trait Serialize {}
+
+/// Marker for types that are deserializable. No methods; see crate docs.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
