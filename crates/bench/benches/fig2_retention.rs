@@ -30,7 +30,7 @@ fn local_retention_days(profile: &TraceProfile, mode: RetentionMode) -> f64 {
     let records = profile
         .workload(logical, device.page_size(), 42)
         .take_while(|r| r.at_ns < horizon_ns);
-    replay(&mut device, records);
+    let _ = replay(&mut device, records);
     match device.report().mean_retention_ns() {
         Some(ns) => ns / NS_PER_DAY,
         // Nothing evicted within the horizon: retention exceeds it.
@@ -47,7 +47,7 @@ fn rssd_retention_days(profile: &TraceProfile) -> f64 {
     let records = profile
         .workload(logical, device.page_size(), 42)
         .take_while(|r| r.at_ns < horizon_ns);
-    replay(&mut device, records);
+    let _ = replay(&mut device, records);
     device.flush_log().unwrap();
     let sealed_per_day = device.offload_stats().sealed_bytes as f64 / SIM_DAYS_RSSD;
     if sealed_per_day == 0.0 {

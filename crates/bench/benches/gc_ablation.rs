@@ -63,7 +63,7 @@ fn run_segment_size(segment_pages: usize) -> (f64, u64) {
         .workload(d.logical_pages(), d.page_size(), 5)
         .take(10_000)
         .collect();
-    rssd_trace::replay(&mut d, records);
+    let _ = rssd_trace::replay(&mut d, records);
     d.flush_log().unwrap();
     let stats = d.offload_stats();
     (stats.compression_ratio(), stats.segments_offloaded)

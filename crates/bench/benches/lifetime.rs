@@ -26,7 +26,7 @@ fn run_plain(profile: &TraceProfile) -> LifetimeRow {
     let recs = profile
         .workload(d.logical_pages(), d.page_size(), 3)
         .take(OPS);
-    replay(&mut d, recs);
+    let _ = replay(&mut d, recs);
     LifetimeRow {
         waf: d.ftl_stats().write_amplification(),
         erases: d.nand_stats().erases(),
@@ -40,7 +40,7 @@ fn run_rssd(profile: &TraceProfile) -> LifetimeRow {
     let recs = profile
         .workload(d.logical_pages(), d.page_size(), 3)
         .take(OPS);
-    replay(&mut d, recs);
+    let _ = replay(&mut d, recs);
     LifetimeRow {
         waf: d.ftl_stats().write_amplification(),
         erases: d.nand_stats().erases(),

@@ -40,7 +40,7 @@ fn mean_latency<D: BlockDevice>(
     records: Vec<IoRecord>,
     latency: impl Fn(&D) -> f64,
 ) -> f64 {
-    replay(device, records);
+    let _ = replay(device, records);
     latency(device)
 }
 
@@ -74,9 +74,9 @@ fn print_comparison() {
         .workload(plain.logical_pages(), plain.page_size(), 5)
         .take(OPS)
         .collect();
-    replay(&mut plain, recs.clone());
+    let _ = replay(&mut plain, recs.clone());
     let mut rssd = mk_rssd(g, NandTiming::mlc_default(), SimClock::new());
-    replay(&mut rssd, recs);
+    let _ = replay(&mut rssd, recs);
     let (p, r) = (plain.latency().mean_ns(), rssd.latency().mean_ns());
     println!(
         "{:<10} {:>14.1} {:>14.1} {:>9.2}%",
@@ -96,14 +96,14 @@ fn bench_write_path(c: &mut Criterion) {
         b.iter(|| {
             let mut d = mk_plain(g, NandTiming::mlc_default(), SimClock::new());
             let recs = pattern("randwrite", d.logical_pages());
-            replay(&mut d, recs);
+            let _ = replay(&mut d, recs);
         })
     });
     group.bench_function("rssd_4k_randwrite", |b| {
         b.iter(|| {
             let mut d = mk_rssd(g, NandTiming::mlc_default(), SimClock::new());
             let recs = pattern("randwrite", d.logical_pages());
-            replay(&mut d, recs);
+            let _ = replay(&mut d, recs);
         })
     });
     group.finish();

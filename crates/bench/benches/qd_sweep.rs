@@ -1,0 +1,118 @@
+//! Queue-depth sweep: the performance knob the NVMe-style multi-queue host
+//! interface adds.
+//!
+//! Replays the same mixed 4 KiB workload against the plain SSD and RSSD at
+//! queue depth 1, 8 and 32 (arbitration burst = depth, so one round batches
+//! a full window) and reports host-visible queue latency — mean, p50 and
+//! p99 from the log₂ histogram — plus the simulated completion time. RSSD's
+//! batched path coalesces evidence-chain offload flushes across each
+//! arbitration batch, so its depth-32 column is where the codesign's
+//! amortization shows up.
+
+use criterion::{criterion_group, Criterion};
+use rssd_bench::{bench_geometry, mk_plain, mk_rssd, rule};
+use rssd_flash::{NandTiming, SimClock};
+use rssd_ssd::{BlockDevice, NvmeController, QueuePairStats};
+use rssd_trace::{replay_queued, IoRecord, PayloadKind, WorkloadBuilder};
+
+const OPS: usize = 4_000;
+const DEPTHS: [usize; 3] = [1, 8, 32];
+
+fn workload(logical_pages: u64) -> Vec<IoRecord> {
+    // Warm-up fill so reads hit mapped pages, then a mixed random workload.
+    let mut records: Vec<IoRecord> = (0..logical_pages.min(2048))
+        .map(|lpa| IoRecord::write(0, lpa, PayloadKind::Binary, lpa))
+        .collect();
+    records.extend(
+        WorkloadBuilder::new(logical_pages)
+            .seed(23)
+            .ops_per_second(20_000.0)
+            .mean_request_pages(1)
+            .read_fraction(0.4)
+            .sequential_fraction(0.2)
+            .build()
+            .take(OPS),
+    );
+    records
+}
+
+/// Replays the workload at `depth`, returning the queue-pair stats and the
+/// simulated end time in nanoseconds.
+fn run_at_depth<D: BlockDevice>(device: D, depth: usize) -> (QueuePairStats, u64) {
+    let mut controller = NvmeController::with_arbitration_burst(device, depth);
+    let queue = controller.create_queue_pair(depth);
+    let records = workload(controller.device().logical_pages());
+    let _ = replay_queued(&mut controller, queue, records);
+    let end_ns = controller.device().clock().now_ns();
+    (controller.stats(queue).clone(), end_ns)
+}
+
+fn print_sweep() {
+    println!("\n=== qd_sweep: queue-depth sweep, plain vs RSSD (MLC timing) ===");
+    println!(
+        "{:<8} {:>4} {:>12} {:>12} {:>12} {:>12}",
+        "Model", "QD", "mean (µs)", "p50 (µs)", "p99 (µs)", "sim end (ms)"
+    );
+    println!("{}", rule(66));
+    let g = bench_geometry();
+    for &depth in &DEPTHS {
+        for model in ["plain", "rssd"] {
+            let (stats, end_ns) = match model {
+                "plain" => run_at_depth(
+                    mk_plain(g, NandTiming::mlc_default(), SimClock::new()),
+                    depth,
+                ),
+                _ => run_at_depth(
+                    mk_rssd(g, NandTiming::mlc_default(), SimClock::new()),
+                    depth,
+                ),
+            };
+            println!(
+                "{:<8} {:>4} {:>12.1} {:>12.1} {:>12.1} {:>12.2}",
+                model,
+                depth,
+                stats.latency.mean_ns() / 1000.0,
+                stats.latency.percentile_ns(50.0) as f64 / 1000.0,
+                stats.latency.percentile_ns(99.0) as f64 / 1000.0,
+                end_ns as f64 / 1e6,
+            );
+        }
+    }
+    println!(
+        "(queue latency: submission→completion incl. queueing; deeper queues \
+         trade per-command latency for batched amortization)"
+    );
+}
+
+fn bench_depths(c: &mut Criterion) {
+    let g = bench_geometry();
+    let mut group = c.benchmark_group("qd_sweep");
+    group.sample_size(10);
+    for &depth in &DEPTHS {
+        group.bench_function(&format!("plain_qd{depth}"), |b| {
+            b.iter(|| {
+                run_at_depth(
+                    mk_plain(g, NandTiming::mlc_default(), SimClock::new()),
+                    depth,
+                )
+            })
+        });
+        group.bench_function(&format!("rssd_qd{depth}"), |b| {
+            b.iter(|| {
+                run_at_depth(
+                    mk_rssd(g, NandTiming::mlc_default(), SimClock::new()),
+                    depth,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depths);
+
+fn main() {
+    print_sweep();
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -41,6 +41,7 @@ impl std::fmt::Display for AttackClass {
 
 /// The analyzer's findings.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[must_use]
 pub struct AnalysisReport {
     /// Ensemble verdict over the whole history.
     pub verdict: Verdict,

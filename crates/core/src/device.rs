@@ -8,12 +8,13 @@ use rssd_crypto::{ChainLink, DeviceKeys, Digest, HashChain, KeyPurpose};
 use rssd_flash::{FlashGeometry, NandArray, NandTiming, SimClock};
 use rssd_ftl::{Ftl, FtlConfig, FtlError, FtlStats, InvalidateCause};
 use rssd_net::SecureSession;
-use rssd_ssd::{BlockDevice, DeviceError, LatencyStats};
+use rssd_ssd::{BlockDevice, CommandOutcome, CommandResult, DeviceError, IoCommand, LatencyStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Offload-path counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct OffloadStats {
     /// Segments durably acknowledged by the remote.
     pub segments_offloaded: u64,
@@ -431,6 +432,88 @@ impl<R: RemoteTarget> RssdDevice<R> {
             .get(&lpa)
             .is_some_and(|&t| now.saturating_sub(t) <= self.read_window_ns)
     }
+
+    /// Write path shared by the scalar and batched interfaces. With
+    /// `defer_offload` the background offload-threshold check is skipped so
+    /// a batch can coalesce it into one check (the sync-offload
+    /// backpressure loop still runs — correctness never waits for a batch
+    /// boundary).
+    fn write_page_inner(
+        &mut self,
+        lpa: u64,
+        data: Vec<u8>,
+        defer_offload: bool,
+    ) -> Result<(), DeviceError> {
+        let start = self.ftl.clock().now_ns();
+        let entropy_mil = (shannon_entropy(&data) * 1000.0) as u16;
+        let read_before = self.read_before(lpa, start);
+
+        let mut sync_tried = 0u32;
+        loop {
+            match self.ftl.write(lpa, data.clone()) {
+                Ok(()) => break,
+                Err(FtlError::DeviceFull) if sync_tried < 4 => {
+                    // Backpressure: synchronously offload pinned data, then
+                    // retry. RSSD never *drops* retained data — if the remote
+                    // is unreachable the device stalls instead.
+                    sync_tried += 1;
+                    self.stats.sync_offloads += 1;
+                    if self.offload_segment().is_err() {
+                        return Err(DeviceError::Stalled);
+                    }
+                }
+                Err(FtlError::DeviceFull) => return Err(DeviceError::Stalled),
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        let had_old = {
+            // Absorb events; detect whether an old version was retained so
+            // fresh writes still get a metadata-only log record.
+            let before = self.chain.next_seq();
+            self.absorb_stale_events(entropy_mil, read_before);
+            self.chain.next_seq() != before
+        };
+        if !had_old {
+            self.log_operation(LogOp::Write, lpa, None, entropy_mil, read_before);
+        }
+        if !defer_offload && self.should_offload() {
+            // Background offload: failures are tolerated (data stays pinned).
+            let _ = self.offload_segment();
+        }
+        let end = self.ftl.clock().now_ns();
+        self.latency.record(end - start);
+        Ok(())
+    }
+
+    fn read_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<Vec<u8>, DeviceError> {
+        let start = self.ftl.clock().now_ns();
+        self.recent_reads.insert(lpa, start);
+        let out = match self.ftl.read(lpa)? {
+            Some(data) => data,
+            None => vec![0u8; self.page_size()],
+        };
+        if self.config.log_reads {
+            self.log_operation(LogOp::Read, lpa, None, 0, false);
+            if !defer_offload && self.pending.len() >= self.config.segment_pages * 8 {
+                let _ = self.offload_segment();
+            }
+        }
+        let end = self.ftl.clock().now_ns();
+        self.latency.record(end - start);
+        Ok(out)
+    }
+
+    fn trim_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<(), DeviceError> {
+        // Enhanced trim: host semantics preserved (reads return zeroes), but
+        // the trimmed version is retained and logged like any overwrite.
+        self.ftl.trim(lpa)?;
+        self.absorb_stale_events(0, false);
+        if !defer_offload && self.should_offload() {
+            let _ = self.offload_segment();
+        }
+        Ok(())
+    }
 }
 
 enum Source {
@@ -467,75 +550,51 @@ impl<R: RemoteTarget> BlockDevice for RssdDevice<R> {
     }
 
     fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError> {
-        let start = self.ftl.clock().now_ns();
-        let entropy_mil = (shannon_entropy(&data) * 1000.0) as u16;
-        let read_before = self.read_before(lpa, start);
-
-        let mut sync_tried = 0u32;
-        loop {
-            match self.ftl.write(lpa, data.clone()) {
-                Ok(()) => break,
-                Err(FtlError::DeviceFull) if sync_tried < 4 => {
-                    // Backpressure: synchronously offload pinned data, then
-                    // retry. RSSD never *drops* retained data — if the remote
-                    // is unreachable the device stalls instead.
-                    sync_tried += 1;
-                    self.stats.sync_offloads += 1;
-                    if self.offload_segment().is_err() {
-                        return Err(DeviceError::Stalled);
-                    }
-                }
-                Err(FtlError::DeviceFull) => return Err(DeviceError::Stalled),
-                Err(e) => return Err(e.into()),
-            }
-        }
-
-        let had_old = {
-            // Absorb events; detect whether an old version was retained so
-            // fresh writes still get a metadata-only log record.
-            let before = self.chain.next_seq();
-            self.absorb_stale_events(entropy_mil, read_before);
-            self.chain.next_seq() != before
-        };
-        if !had_old {
-            self.log_operation(LogOp::Write, lpa, None, entropy_mil, read_before);
-        }
-        if self.should_offload() {
-            // Background offload: failures are tolerated (data stays pinned).
-            let _ = self.offload_segment();
-        }
-        let end = self.ftl.clock().now_ns();
-        self.latency.record(end - start);
-        Ok(())
+        self.write_page_inner(lpa, data, false)
     }
 
     fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
-        let start = self.ftl.clock().now_ns();
-        self.recent_reads.insert(lpa, start);
-        let out = match self.ftl.read(lpa)? {
-            Some(data) => data,
-            None => vec![0u8; self.page_size()],
-        };
-        if self.config.log_reads {
-            self.log_operation(LogOp::Read, lpa, None, 0, false);
-            if self.pending.len() >= self.config.segment_pages * 8 {
-                let _ = self.offload_segment();
-            }
-        }
-        let end = self.ftl.clock().now_ns();
-        self.latency.record(end - start);
-        Ok(out)
+        self.read_page_inner(lpa, false)
     }
 
     fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
-        // Enhanced trim: host semantics preserved (reads return zeroes), but
-        // the trimmed version is retained and logged like any overwrite.
-        self.ftl.trim(lpa)?;
-        self.absorb_stale_events(0, false);
+        self.trim_page_inner(lpa, false)
+    }
+
+    /// Native batched entry point: executes the commands in order with the
+    /// same logging, retention and backpressure semantics as the scalar
+    /// methods, but amortizes the background offload machinery — instead of
+    /// testing the offload thresholds (and potentially sealing, compressing
+    /// and shipping a segment) after every command, the whole batch is
+    /// covered by a single threshold check and at most one coalesced
+    /// segment flush. Synchronous backpressure offloads (a full device mid
+    /// batch) still happen immediately; only the *background* flush is
+    /// deferred, so host-visible state — contents, retained versions, the
+    /// evidence chain — is identical to the scalar loop.
+    fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
+        let mut results = Vec::with_capacity(commands.len());
+        for command in commands {
+            let result = match command {
+                IoCommand::Read { lpa } => {
+                    self.read_page_inner(lpa, true).map(CommandOutcome::Read)
+                }
+                IoCommand::Write { lpa, data } => self
+                    .write_page_inner(lpa, data, true)
+                    .map(|()| CommandOutcome::Written),
+                IoCommand::Trim { lpa } => self
+                    .trim_page_inner(lpa, true)
+                    .map(|()| CommandOutcome::Trimmed),
+                IoCommand::Flush => self.flush().map(|()| CommandOutcome::Flushed),
+            };
+            results.push(result);
+        }
         if self.should_offload() {
+            // One coalesced background offload for the whole batch
+            // (offload_segment ships everything pending in a single
+            // segment, so one call settles any threshold crossed above).
             let _ = self.offload_segment();
         }
-        Ok(())
+        results
     }
 
     fn flush(&mut self) -> Result<(), DeviceError> {
@@ -749,6 +808,81 @@ mod tests {
         assert_eq!(d.recover_page(5), None);
         d.write_page(5, page(1)).unwrap();
         assert_eq!(d.recover_page(5), None, "no old version yet");
+    }
+
+    #[test]
+    fn batched_submission_matches_scalar_semantics() {
+        let commands = |n: u64| -> Vec<IoCommand> {
+            let mut cmds = Vec::new();
+            for i in 0..n {
+                cmds.push(IoCommand::Write {
+                    lpa: i % 5,
+                    data: page(i as u8),
+                });
+                if i % 3 == 0 {
+                    cmds.push(IoCommand::Read { lpa: i % 5 });
+                }
+                if i % 7 == 6 {
+                    cmds.push(IoCommand::Trim { lpa: (i + 1) % 5 });
+                }
+            }
+            cmds
+        };
+        let mut scalar = device();
+        let scalar_results: Vec<_> = commands(25)
+            .into_iter()
+            .map(|c| scalar.execute(c))
+            .collect();
+        let mut batched = device();
+        let batch_results = batched.submit_batch(commands(25));
+
+        assert_eq!(scalar_results, batch_results);
+        assert_eq!(scalar.chain_head(), batched.chain_head());
+        assert_eq!(scalar.chain_len(), batched.chain_len());
+        for lpa in 0..5u64 {
+            assert_eq!(
+                scalar.read_page(lpa).unwrap(),
+                batched.read_page(lpa).unwrap()
+            );
+            assert_eq!(scalar.recover_page(lpa), batched.recover_page(lpa));
+        }
+    }
+
+    #[test]
+    fn batch_coalesces_background_offload_flushes() {
+        // 64 overwrites with segment_pages=8: the scalar path seals a
+        // segment every ~8 retained pages, the batched path at most once.
+        let fill = |d: &mut RssdDevice<LoopbackTarget>| {
+            for i in 0..16u64 {
+                d.write_page(i % 4, page(i as u8)).unwrap();
+            }
+        };
+        let mut scalar = device();
+        fill(&mut scalar);
+        for i in 16..80u64 {
+            scalar.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        let mut batched = device();
+        fill(&mut batched);
+        let cmds: Vec<IoCommand> = (16..80u64)
+            .map(|i| IoCommand::Write {
+                lpa: i % 4,
+                data: page(i as u8),
+            })
+            .collect();
+        for r in batched.submit_batch(cmds) {
+            r.unwrap();
+        }
+        assert!(
+            batched.offload_stats().segments_offloaded < scalar.offload_stats().segments_offloaded,
+            "batch path must coalesce segment flushes ({} vs {})",
+            batched.offload_stats().segments_offloaded,
+            scalar.offload_stats().segments_offloaded
+        );
+        // Same recoverable state regardless of flush coalescing.
+        for lpa in 0..4u64 {
+            assert_eq!(scalar.recover_page(lpa), batched.recover_page(lpa));
+        }
     }
 
     #[test]

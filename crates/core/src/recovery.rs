@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 
 /// Result of a recovery run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct RecoveryReport {
     /// Pages successfully restored.
     pub pages_restored: u64,
@@ -210,7 +211,7 @@ mod tests {
         let attack_start = clock.now_ns();
         d.write_page(0, page(2)).unwrap();
         let before = d.chain_len();
-        RecoveryEngine::new().restore_before(&mut d, &[0], attack_start);
+        let _ = RecoveryEngine::new().restore_before(&mut d, &[0], attack_start);
         assert!(d.chain_len() > before, "restore writes are chained too");
     }
 }

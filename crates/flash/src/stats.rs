@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 /// The lifetime experiment (E4) reads erase counts from here; the performance
 /// experiment (E3) compares busy time between device models.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct NandStats {
     reads: u64,
     programs: u64,

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 /// offload leaves WAF essentially unchanged, because retained pages are
 /// never *migrated*, only held until offload and then erased in place.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct FtlStats {
     /// Pages written on behalf of the host.
     pub host_pages_written: u64,

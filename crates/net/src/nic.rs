@@ -29,6 +29,7 @@ impl std::error::Error for NicError {}
 
 /// Operation counters (the "control register" block's statistics page).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct NicStats {
     /// Frames accepted into the Tx ring.
     pub tx_frames: u64,

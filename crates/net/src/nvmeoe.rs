@@ -127,6 +127,7 @@ impl Capsule {
 
 /// Transfer statistics for the offload-path experiment (E8).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct TransferStats {
     /// Segments fully transferred and acknowledged.
     pub segments: u64,

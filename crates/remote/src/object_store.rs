@@ -38,6 +38,7 @@ impl Default for ObjectStoreConfig {
 
 /// Operation counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct ObjectStoreStats {
     /// PUT requests served.
     pub puts: u64,

@@ -16,6 +16,7 @@ use crate::object_store::{ObjectStore, ObjectStoreConfig};
 
 /// Aggregated server-side observations (the operator's dashboard).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct ServerReport {
     /// Segments accepted and stored.
     pub segments_stored: u64,

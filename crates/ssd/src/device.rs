@@ -1,11 +1,20 @@
 //! The host-facing block interface.
 
+use crate::nvme::{CommandOutcome, CommandResult, IoCommand};
 use rssd_flash::SimClock;
 use rssd_ftl::FtlError;
 
 /// Errors surfaced across the block interface.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DeviceError {
+    /// Logical page address beyond the exported capacity.
+    OutOfRange {
+        /// The offending logical page address.
+        lpa: u64,
+        /// Number of logical pages exported.
+        logical_pages: u64,
+    },
     /// The FTL refused the operation.
     Ftl(FtlError),
     /// The device could not make forward progress (no reclaimable space and
@@ -16,6 +25,9 @@ pub enum DeviceError {
 impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            DeviceError::OutOfRange { lpa, logical_pages } => {
+                write!(f, "lpa {lpa} out of range ({logical_pages} logical pages)")
+            }
             DeviceError::Ftl(e) => write!(f, "ftl: {e}"),
             DeviceError::Stalled => write!(f, "device stalled: retention policy holds all space"),
         }
@@ -26,20 +38,33 @@ impl std::error::Error for DeviceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DeviceError::Ftl(e) => Some(e),
-            DeviceError::Stalled => None,
+            _ => None,
         }
     }
 }
 
 impl From<FtlError> for DeviceError {
     fn from(e: FtlError) -> Self {
-        DeviceError::Ftl(e)
+        match e {
+            // Addressing is a block-layer concept; don't leak FTL internals
+            // for the one error every host has to understand.
+            FtlError::LpaOutOfRange { lpa, logical_pages } => {
+                DeviceError::OutOfRange { lpa, logical_pages }
+            }
+            other => DeviceError::Ftl(other),
+        }
     }
 }
 
 /// The generic block I/O interface the host (and therefore any malware,
 /// however privileged) sees. Everything underneath — mapping, retention,
 /// logging, network offload — is hardware-isolated device state.
+///
+/// Hosts normally drive a device through the NVMe-style queue layer
+/// ([`NvmeController`](crate::NvmeController)), which funnels every
+/// arbitration round through [`submit_batch`](Self::submit_batch); the
+/// scalar methods remain the single-command compatibility path (and the
+/// default implementation of the batched one).
 pub trait BlockDevice {
     /// Human-readable model name (used in experiment tables).
     fn model_name(&self) -> &str;
@@ -85,6 +110,35 @@ pub trait BlockDevice {
         Ok(())
     }
 
+    /// Executes one queued command via the scalar methods.
+    fn execute(&mut self, command: IoCommand) -> CommandResult {
+        match command {
+            IoCommand::Read { lpa } => self.read_page(lpa).map(CommandOutcome::Read),
+            IoCommand::Write { lpa, data } => {
+                self.write_page(lpa, data).map(|()| CommandOutcome::Written)
+            }
+            IoCommand::Trim { lpa } => self.trim_page(lpa).map(|()| CommandOutcome::Trimmed),
+            IoCommand::Flush => self.flush().map(|()| CommandOutcome::Flushed),
+        }
+    }
+
+    /// Executes a batch of queued commands, returning one result per
+    /// command, in order.
+    ///
+    /// The default implementation is the scalar loop, so every
+    /// [`BlockDevice`] works under the queue layer unchanged. Devices with
+    /// per-command bookkeeping can override it to amortize that work —
+    /// RSSD coalesces its background offload-threshold handling across the
+    /// batch (see `RssdDevice` in `rssd-core`).
+    ///
+    /// Implementations must preserve command order and must return exactly
+    /// `commands.len()` results; host-visible semantics (page contents,
+    /// retained versions, the evidence chain) must be identical to the
+    /// scalar loop.
+    fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
+        commands.into_iter().map(|c| self.execute(c)).collect()
+    }
+
     /// Best-effort recovery of the newest *retained* pre-attack version of
     /// `lpa`, if this device model retains anything. `None` means
     /// unrecoverable on this model — the paper's Table 1 "Recovery" column.
@@ -94,9 +148,59 @@ pub trait BlockDevice {
     }
 }
 
+/// Forwarding impl so controllers and replay harnesses can borrow a device
+/// (`NvmeController<&mut D>`) instead of taking ownership.
+impl<T: BlockDevice + ?Sized> BlockDevice for &mut T {
+    fn model_name(&self) -> &str {
+        (**self).model_name()
+    }
+
+    fn page_size(&self) -> usize {
+        (**self).page_size()
+    }
+
+    fn logical_pages(&self) -> u64 {
+        (**self).logical_pages()
+    }
+
+    fn clock(&self) -> &SimClock {
+        (**self).clock()
+    }
+
+    fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError> {
+        (**self).write_page(lpa, data)
+    }
+
+    fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
+        (**self).read_page(lpa)
+    }
+
+    fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
+        (**self).trim_page(lpa)
+    }
+
+    fn flush(&mut self) -> Result<(), DeviceError> {
+        (**self).flush()
+    }
+
+    fn execute(&mut self, command: IoCommand) -> CommandResult {
+        (**self).execute(command)
+    }
+
+    fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
+        (**self).submit_batch(commands)
+    }
+
+    fn recover_page(&mut self, lpa: u64) -> Option<Vec<u8>> {
+        (**self).recover_page(lpa)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plain::PlainSsd;
+    use rssd_flash::{FlashGeometry, NandTiming};
 
     #[test]
     fn device_error_display_and_source() {
@@ -104,5 +208,70 @@ mod tests {
         assert!(e.to_string().contains("ftl"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&DeviceError::Stalled).is_none());
+    }
+
+    #[test]
+    fn lpa_out_of_range_surfaces_as_block_layer_error() {
+        let e: DeviceError = FtlError::LpaOutOfRange {
+            lpa: 99,
+            logical_pages: 10,
+        }
+        .into();
+        assert_eq!(
+            e,
+            DeviceError::OutOfRange {
+                lpa: 99,
+                logical_pages: 10
+            }
+        );
+        assert!(e.to_string().contains("out of range"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn scalar_methods_report_out_of_range() {
+        let mut d = PlainSsd::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+        );
+        let bad = d.logical_pages() + 1;
+        for result in [
+            d.write_page(bad, vec![0; 4096]).err(),
+            d.read_page(bad).err(),
+            d.trim_page(bad).err(),
+        ] {
+            assert!(matches!(
+                result,
+                Some(DeviceError::OutOfRange { lpa, .. }) if lpa == bad
+            ));
+        }
+    }
+
+    #[test]
+    fn default_submit_batch_matches_scalar_loop() {
+        let mk = || {
+            PlainSsd::new(
+                FlashGeometry::small_test(),
+                NandTiming::instant(),
+                SimClock::new(),
+            )
+        };
+        let commands = vec![
+            IoCommand::Write {
+                lpa: 0,
+                data: vec![1; 4096],
+            },
+            IoCommand::Read { lpa: 0 },
+            IoCommand::Trim { lpa: 0 },
+            IoCommand::Read { lpa: 0 },
+            IoCommand::Flush,
+        ];
+        let mut batched = mk();
+        let batch_results = batched.submit_batch(commands.clone());
+        let mut scalar = mk();
+        let scalar_results: Vec<_> = commands.into_iter().map(|c| scalar.execute(c)).collect();
+        assert_eq!(batch_results, scalar_results);
+        assert_eq!(batch_results[1], Ok(CommandOutcome::Read(vec![1; 4096])));
     }
 }

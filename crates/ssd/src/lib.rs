@@ -18,6 +18,11 @@
 //!
 //! RSSD itself lives in `rssd-core` and builds on the same primitives.
 //!
+//! Hosts drive any of these models through the NVMe-style multi-queue
+//! interface in [`nvme`]: fixed-depth submission/completion queue pairs
+//! arbitrated round-robin by an [`NvmeController`], with batched execution
+//! through [`BlockDevice::submit_batch`] (see the module docs).
+//!
 //! The **hardware-isolation structure** of the paper is expressed in the
 //! types: hosts (and attack actors) only ever hold `&mut dyn BlockDevice` /
 //! generic `D: BlockDevice` — retention state, pins, logs and (for RSSD) the
@@ -25,12 +30,17 @@
 
 pub mod device;
 pub mod flashguard;
+pub mod nvme;
 pub mod plain;
 pub mod queue;
 pub mod retention;
 
 pub use device::{BlockDevice, DeviceError};
 pub use flashguard::{FlashGuardConfig, FlashGuardSsd};
+pub use nvme::{
+    CommandId, CommandOutcome, CommandResult, Completion, CompletionQueue, IoCommand,
+    NvmeController, QueueError, QueueId, QueuePairStats, SubmissionQueue,
+};
 pub use plain::PlainSsd;
 pub use queue::LatencyStats;
 pub use retention::{RetentionMode, RetentionReport, RetentionSsd};

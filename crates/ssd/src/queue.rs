@@ -22,6 +22,7 @@ const BUCKETS: usize = 64;
 /// assert!(stats.mean_ns() > 1_000.0);
 /// ```
 #[derive(Clone, Debug, Serialize, Deserialize)]
+#[must_use]
 pub struct LatencyStats {
     buckets: Vec<u64>,
     count: u64,
@@ -102,6 +103,13 @@ impl LatencyStats {
         self.max_ns
     }
 
+    /// Approximate latency at percentile `p` (e.g. `50.0`, `99.0`), resolved
+    /// to the upper edge of the containing log₂ bucket — the form the
+    /// queue-depth sweep reports as p50/p99.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        self.quantile_ns(p / 100.0)
+    }
+
     /// Merges another collector into this one.
     pub fn merge(&mut self, other: &LatencyStats) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -147,6 +155,45 @@ mod tests {
         let p99 = s.quantile_ns(0.99);
         assert!(p50 <= p99);
         assert!(p99 <= s.quantile_ns(1.0).max(s.max_ns()));
+    }
+
+    #[test]
+    fn percentile_matches_quantile_and_brackets_distribution() {
+        let mut s = LatencyStats::new();
+        // 99 requests at ~1µs, one at ~1ms: p50 sits in the 1µs bucket,
+        // p99.9+ must reach the 1ms outlier's bucket.
+        for _ in 0..99 {
+            s.record(1_000);
+        }
+        s.record(1_000_000);
+        assert_eq!(s.percentile_ns(50.0), s.quantile_ns(0.5));
+        assert_eq!(s.percentile_ns(99.0), s.quantile_ns(0.99));
+        let p50 = s.percentile_ns(50.0);
+        assert!((1_000..2_048).contains(&p50), "p50 bucket edge, got {p50}");
+        let p100 = s.percentile_ns(100.0);
+        assert!(
+            p100 >= 1_000_000,
+            "tail percentile sees outlier, got {p100}"
+        );
+        // Degenerate inputs clamp instead of panicking.
+        assert_eq!(s.percentile_ns(-5.0), s.quantile_ns(0.0));
+        assert!(s.percentile_ns(250.0) >= p100);
+        assert_eq!(LatencyStats::new().percentile_ns(99.0), 0);
+    }
+
+    #[test]
+    fn percentiles_monotone_in_p() {
+        let mut s = LatencyStats::new();
+        for i in 1..=10_000u64 {
+            s.record(i * 37);
+        }
+        let ps: Vec<u64> = [1.0, 25.0, 50.0, 90.0, 99.0, 99.9]
+            .iter()
+            .map(|&p| s.percentile_ns(p))
+            .collect();
+        for w in ps.windows(2) {
+            assert!(w[0] <= w[1], "{ps:?}");
+        }
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub enum RetentionMode {
 
 /// Aggregate retention behaviour, reported to the Figure 2 bench.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct RetentionReport {
     /// Stale pages currently retained.
     pub retained_pages: u64,

@@ -13,7 +13,9 @@
 //! * [`zipf`] — a Zipf sampler for skewed access patterns.
 //! * [`synth`] — the generic workload generator.
 //! * [`profiles`] — the twelve named trace models of Figure 2.
-//! * [`replay`] — drives any [`rssd_ssd::BlockDevice`] from a record stream.
+//! * [`mod@replay`] — drives any [`rssd_ssd::BlockDevice`] from a record
+//!   stream through the NVMe-style queue layer, at a configurable queue
+//!   depth ([`replay_queued`]) or scalar-compatibly ([`replay()`]).
 
 pub mod profiles;
 pub mod record;
@@ -23,6 +25,6 @@ pub mod zipf;
 
 pub use profiles::TraceProfile;
 pub use record::{synthesize_page, IoOp, IoRecord, PayloadKind};
-pub use replay::{replay, ReplayOutcome, ReplayStats};
+pub use replay::{replay, replay_queued, ReplayOutcome, ReplayStats};
 pub use synth::{Workload, WorkloadBuilder};
 pub use zipf::Zipf;

@@ -1,11 +1,24 @@
-//! Replays record streams against a [`BlockDevice`].
+//! Replays record streams against a device through the NVMe-style queue
+//! layer.
+//!
+//! [`replay_queued`] is the primary entry point: it drives an
+//! [`NvmeController`] queue pair, keeping its submission ring as full as the
+//! trace allows, so the device sees real queue depth and can batch work per
+//! arbitration round. [`replay`] is the scalar-compatible wrapper — a
+//! depth-1 queue pair over a borrowed device — preserving the historical
+//! one-command-at-a-time semantics.
 
 use crate::record::{synthesize_page, IoOp, IoRecord};
-use rssd_ssd::{BlockDevice, DeviceError};
+use rssd_ssd::{
+    BlockDevice, CommandId, CommandOutcome, Completion, DeviceError, IoCommand, NvmeController,
+    QueueId,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Aggregate results of a replay.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
 pub struct ReplayStats {
     /// Records issued.
     pub records: u64,
@@ -18,12 +31,17 @@ pub struct ReplayStats {
     /// Writes refused with [`DeviceError::Stalled`] (capacity pressure the
     /// device could not relieve — data-loss territory for baselines).
     pub stalls: u64,
+    /// Non-stall error completions observed. The first one aborts the
+    /// replay; later ones (commands already in flight at the failure) are
+    /// only counted here.
+    pub errors: u64,
     /// Simulated time of the last issued record.
     pub end_ns: u64,
 }
 
-/// Outcome of [`replay`].
+/// Outcome of a replay.
 #[derive(Debug)]
+#[must_use]
 pub enum ReplayOutcome {
     /// Every record issued (stalls, if any, are counted in the stats).
     Completed(ReplayStats),
@@ -62,59 +80,186 @@ impl ReplayOutcome {
     }
 }
 
-/// Replays `records` against `device`, pacing the simulation clock to each
-/// record's arrival time and synthesizing write payloads deterministically.
+/// Book-keeping for one queued replay: maps in-flight command ids back to
+/// their source records and folds completions into the stats.
+struct ReplayDriver {
+    stats: ReplayStats,
+    in_flight: HashMap<u16, IoRecord>,
+    next_id: u16,
+    abort: Option<(IoRecord, DeviceError)>,
+}
+
+impl ReplayDriver {
+    fn new() -> Self {
+        ReplayDriver {
+            stats: ReplayStats::default(),
+            in_flight: HashMap::new(),
+            next_id: 0,
+            abort: None,
+        }
+    }
+
+    /// Allocates a command id unused among in-flight commands (queue depth
+    /// is far below the 64 Ki id space, so the scan terminates quickly).
+    fn alloc_id(&mut self) -> CommandId {
+        while self.in_flight.contains_key(&self.next_id) {
+            self.next_id = self.next_id.wrapping_add(1);
+        }
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        CommandId(id)
+    }
+
+    fn absorb(&mut self, completion: Completion) {
+        let Some(record) = self.in_flight.remove(&completion.id.0) else {
+            // A stale completion the caller left un-reaped on this queue
+            // pair before the replay started: not ours, not counted.
+            return;
+        };
+        match completion.result {
+            Ok(CommandOutcome::Read(_)) => self.stats.pages_read += 1,
+            Ok(CommandOutcome::Written) => self.stats.pages_written += 1,
+            Ok(CommandOutcome::Trimmed) => self.stats.pages_trimmed += 1,
+            Ok(CommandOutcome::Flushed) => {}
+            Err(DeviceError::Stalled) => self.stats.stalls += 1,
+            Err(error) => {
+                self.stats.errors += 1;
+                if self.abort.is_none() {
+                    self.abort = Some((record, error));
+                }
+            }
+        }
+    }
+
+    fn reap<D: BlockDevice>(&mut self, controller: &mut NvmeController<D>, queue: QueueId) {
+        while let Some(completion) = controller.pop_completion(queue) {
+            self.absorb(completion);
+        }
+    }
+
+    fn finish(self) -> ReplayOutcome {
+        match self.abort {
+            None => ReplayOutcome::Completed(self.stats),
+            Some((record, error)) => ReplayOutcome::Aborted {
+                stats: self.stats,
+                record,
+                error,
+            },
+        }
+    }
+}
+
+/// Replays `records` against the device behind `controller` through the
+/// queue pair `queue`, pacing the simulation clock to each record's arrival
+/// time and synthesizing write payloads deterministically.
 ///
-/// Stalled writes are counted and skipped (the workload's data is lost, as
-/// it would be on a wedged device); any other error aborts.
-pub fn replay<D, I>(device: &mut D, records: I) -> ReplayOutcome
+/// The queue pair's depth is the replay's queue depth, and the device is
+/// work-conserving: commands already submitted are executed before the
+/// clock may jump to a later arrival, so queue depth builds up exactly
+/// when the device falls behind the trace's arrival rate (and those
+/// backlogged windows are what execute as batches). Stalled writes are
+/// counted and skipped (the workload's data is lost, as it would be on a
+/// wedged device); any other error stops submission and aborts — commands
+/// already submitted still complete before the abort is returned, as on a
+/// real device (their successes and errors land in the stats counters; only
+/// the *first* error is carried in [`ReplayOutcome::Aborted`]).
+///
+/// Other queue pairs on the same controller keep being arbitrated while
+/// this replay runs — that is how multi-tenant scenarios share a device.
+/// Completions left un-reaped on `queue` from before the replay are popped
+/// but ignored.
+///
+/// # Panics
+///
+/// Panics if `queue` does not exist on `controller`.
+pub fn replay_queued<D, I>(
+    controller: &mut NvmeController<D>,
+    queue: QueueId,
+    records: I,
+) -> ReplayOutcome
 where
-    D: BlockDevice + ?Sized,
+    D: BlockDevice,
     I: IntoIterator<Item = IoRecord>,
 {
-    let mut stats = ReplayStats::default();
-    let page_size = device.page_size();
-    let logical_pages = device.logical_pages();
+    let mut driver = ReplayDriver::new();
+    let page_size = controller.device().page_size();
+    let logical_pages = controller.device().logical_pages();
 
-    for record in records {
-        device.clock().advance_to(record.at_ns);
-        stats.records += 1;
-        stats.end_ns = record.at_ns;
+    'records: for record in records {
+        // Work conservation: if this arrival is in the device's future, the
+        // device would have drained its backlog before idling — execute
+        // everything pending at the current clock before jumping forward.
+        // (When the device is already at or past `at_ns`, i.e. saturated,
+        // the backlog stays queued and batches up.)
+        while controller.device().clock().now_ns() < record.at_ns && !driver.in_flight.is_empty() {
+            if controller.process_round() == 0 {
+                driver.reap(controller, queue);
+                break;
+            }
+            driver.reap(controller, queue);
+            if driver.abort.is_some() {
+                break 'records;
+            }
+        }
+        controller.device().clock().advance_to(record.at_ns);
+        driver.stats.records += 1;
+        driver.stats.end_ns = record.at_ns;
 
         for i in 0..u64::from(record.pages) {
             let lpa = record.lpa + i;
             if lpa >= logical_pages {
                 break;
             }
-            let result = match record.op {
-                IoOp::Read => device.read_page(lpa).map(|_| {
-                    stats.pages_read += 1;
-                }),
-                IoOp::Write => {
-                    let payload =
-                        synthesize_page(record.payload, record.payload_seed ^ i, page_size);
-                    device.write_page(lpa, payload).map(|()| {
-                        stats.pages_written += 1;
-                    })
-                }
-                IoOp::Trim => device.trim_page(lpa).map(|()| {
-                    stats.pages_trimmed += 1;
-                }),
+            let command = match record.op {
+                IoOp::Read => IoCommand::Read { lpa },
+                IoOp::Write => IoCommand::Write {
+                    lpa,
+                    data: synthesize_page(record.payload, record.payload_seed ^ i, page_size),
+                },
+                IoOp::Trim => IoCommand::Trim { lpa },
             };
-            match result {
-                Ok(()) => {}
-                Err(DeviceError::Stalled) => stats.stalls += 1,
-                Err(error) => {
-                    return ReplayOutcome::Aborted {
-                        stats,
-                        record,
-                        error,
-                    }
+            // Make room: process and reap until a submission slot frees up.
+            while controller.submission_queue(queue).free() == 0 {
+                controller.process_round();
+                driver.reap(controller, queue);
+                if driver.abort.is_some() {
+                    break 'records;
                 }
             }
+            let id = driver.alloc_id();
+            controller
+                .submit(queue, id, command)
+                .expect("submission slot verified free");
+            driver.in_flight.insert(id.0, record);
         }
     }
-    ReplayOutcome::Completed(stats)
+
+    // Drain the tail — also after an abort, so no command of this replay is
+    // left in the submission queue to execute behind the caller's back.
+    while !driver.in_flight.is_empty() {
+        let executed = controller.process_round();
+        driver.reap(controller, queue);
+        if executed == 0 && !driver.in_flight.is_empty() {
+            // Only possible if another tenant's queue wedged the round;
+            // keep reaping our own completions but avoid spinning forever.
+            break;
+        }
+    }
+    driver.reap(controller, queue);
+    driver.finish()
+}
+
+/// Scalar-compatible replay: wraps `device` in a temporary controller with a
+/// single depth-1 queue pair, so records execute one at a time in arrival
+/// order — the historical behaviour, now expressed through the queue layer.
+pub fn replay<D, I>(device: &mut D, records: I) -> ReplayOutcome
+where
+    D: BlockDevice + ?Sized,
+    I: IntoIterator<Item = IoRecord>,
+{
+    let mut controller = NvmeController::new(device);
+    let queue = controller.create_queue_pair(1);
+    replay_queued(&mut controller, queue, records)
 }
 
 #[cfg(test)]
@@ -153,7 +298,7 @@ mod tests {
     fn clock_paced_to_arrivals() {
         let mut d = device();
         let records = vec![IoRecord::write(5_000_000, 0, PayloadKind::Zero, 1)];
-        replay(&mut d, records).expect_completed();
+        let _ = replay(&mut d, records).expect_completed();
         assert!(d.clock().now_ns() >= 5_000_000);
     }
 
@@ -167,8 +312,8 @@ mod tests {
             .build()
             .take(50)
             .collect();
-        replay(&mut a, recs.clone()).expect_completed();
-        replay(&mut b, recs).expect_completed();
+        let _ = replay(&mut a, recs.clone()).expect_completed();
+        let _ = replay(&mut b, recs).expect_completed();
         for lpa in 0..64u64 {
             assert_eq!(a.read_page(lpa).unwrap(), b.read_page(lpa).unwrap());
         }
@@ -221,5 +366,158 @@ mod tests {
         assert_eq!(stats.records, 2000);
         assert!(stats.pages_written > 0);
         assert!(stats.pages_read > 0);
+    }
+
+    #[test]
+    fn queued_replay_matches_scalar_results_at_any_depth() {
+        let recs: Vec<_> = WorkloadBuilder::new(64)
+            .seed(3)
+            .read_fraction(0.25)
+            .trim_fraction(0.05)
+            .build()
+            .take(600)
+            .collect();
+        let mut scalar_dev = device();
+        let scalar = replay(&mut scalar_dev, recs.clone()).expect_completed();
+        for depth in [2usize, 8, 32] {
+            let mut controller = NvmeController::with_arbitration_burst(device(), depth);
+            let queue = controller.create_queue_pair(depth);
+            let queued = replay_queued(&mut controller, queue, recs.clone()).expect_completed();
+            assert_eq!(queued, scalar, "depth {depth}");
+            let mut dev = controller.into_device();
+            for lpa in 0..64u64 {
+                assert_eq!(
+                    dev.read_page(lpa).unwrap(),
+                    scalar_dev.read_page(lpa).unwrap(),
+                    "contents diverged at depth {depth}, lpa {lpa}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn queued_replay_reports_queue_depth_in_stats() {
+        let recs: Vec<_> = WorkloadBuilder::new(64)
+            .seed(5)
+            .read_fraction(0.0)
+            .build()
+            .take(100)
+            .collect();
+        let mut controller = NvmeController::new(device());
+        let queue = controller.create_queue_pair(16);
+        let stats = replay_queued(&mut controller, queue, recs).expect_completed();
+        assert_eq!(stats.pages_written, controller.stats(queue).completed);
+        assert_eq!(controller.stats(queue).latency.count(), stats.pages_written);
+        assert_eq!(controller.outstanding(queue), 0, "tail fully drained");
+    }
+
+    /// Wraps a device and records the clock time at which each write
+    /// actually executes.
+    struct WriteTimeProbe {
+        inner: PlainSsd,
+        write_times: Vec<u64>,
+    }
+
+    impl BlockDevice for WriteTimeProbe {
+        fn model_name(&self) -> &str {
+            "WriteTimeProbe"
+        }
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn logical_pages(&self) -> u64 {
+            self.inner.logical_pages()
+        }
+        fn clock(&self) -> &SimClock {
+            self.inner.clock()
+        }
+        fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError> {
+            self.write_times.push(self.inner.clock().now_ns());
+            self.inner.write_page(lpa, data)
+        }
+        fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
+            self.inner.read_page(lpa)
+        }
+        fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
+            self.inner.trim_page(lpa)
+        }
+    }
+
+    #[test]
+    fn commands_execute_at_their_own_arrival_time_not_the_next() {
+        // Work conservation: with the device keeping up (instant timing),
+        // record N must execute at t_N, not when record N+1 arrives.
+        let mut probe = WriteTimeProbe {
+            inner: device(),
+            write_times: Vec::new(),
+        };
+        let records = vec![
+            IoRecord::write(1_000, 0, PayloadKind::Text, 1),
+            IoRecord::write(5_000_000, 1, PayloadKind::Text, 2),
+            IoRecord::write(9_000_000, 2, PayloadKind::Text, 3),
+        ];
+        let _ = replay(&mut probe, records).expect_completed();
+        assert_eq!(probe.write_times, vec![1_000, 5_000_000, 9_000_000]);
+    }
+
+    /// A device whose reads always fail — exercises the abort path, which a
+    /// healthy simulated device cannot reach through `replay` (out-of-range
+    /// tails are clipped before submission).
+    struct FailingReads(PlainSsd);
+
+    impl BlockDevice for FailingReads {
+        fn model_name(&self) -> &str {
+            "FailingReads"
+        }
+        fn page_size(&self) -> usize {
+            self.0.page_size()
+        }
+        fn logical_pages(&self) -> u64 {
+            self.0.logical_pages()
+        }
+        fn clock(&self) -> &SimClock {
+            self.0.clock()
+        }
+        fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError> {
+            self.0.write_page(lpa, data)
+        }
+        fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
+            Err(DeviceError::OutOfRange {
+                lpa,
+                logical_pages: 0,
+            })
+        }
+        fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
+            self.0.trim_page(lpa)
+        }
+    }
+
+    #[test]
+    fn queued_replay_aborts_on_non_stall_error() {
+        let mut controller = NvmeController::new(FailingReads(device()));
+        let queue = controller.create_queue_pair(4);
+        let records = vec![
+            IoRecord::write(0, 0, PayloadKind::Text, 1),
+            IoRecord::read(10, 0),
+            IoRecord::write(20, 1, PayloadKind::Text, 2),
+        ];
+        match replay_queued(&mut controller, queue, records) {
+            ReplayOutcome::Aborted {
+                stats,
+                record,
+                error,
+            } => {
+                assert_eq!(record.op, IoOp::Read);
+                assert!(matches!(error, DeviceError::OutOfRange { .. }));
+                // Commands already in flight when the failure completes may
+                // still land (queue semantics); the write before it must.
+                assert!(stats.pages_written >= 1, "{stats:?}");
+            }
+            ReplayOutcome::Completed(_) => panic!("must abort on read failure"),
+        }
+        // Nothing of the aborted replay may linger to execute later.
+        assert_eq!(controller.outstanding(queue), 0);
+        assert!(controller.submission_queue(queue).is_empty());
+        assert!(controller.completion_queue(queue).is_empty());
     }
 }

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r
         })
         .collect();
-    replay(&mut device, background);
+    let _ = replay(&mut device, background);
     println!(
         "background replayed; {} records in the evidence chain",
         device.chain_len()

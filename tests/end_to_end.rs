@@ -13,8 +13,10 @@ use rssd_repro::crypto::DeviceKeys;
 use rssd_repro::detect::Verdict;
 use rssd_repro::flash::{FlashGeometry, NandTiming, SimClock};
 use rssd_repro::remote::RemoteLogServer;
-use rssd_repro::ssd::{BlockDevice, FlashGuardConfig};
-use rssd_repro::trace::{replay, TraceProfile};
+use rssd_repro::ssd::{
+    BlockDevice, CommandId, CommandOutcome, FlashGuardConfig, IoCommand, NvmeController,
+};
+use rssd_repro::trace::{replay_queued, TraceProfile};
 
 fn geometry() -> FlashGeometry {
     FlashGeometry::with_capacity(16 * 1024 * 1024)
@@ -110,7 +112,7 @@ fn timing_attack_detected_remotely_despite_rate_limiting() {
     let victims = FileTable::populate(&mut device, 16, 8, 3).unwrap();
 
     // Benign background over non-victim space first, so the detector has a
-    // realistic baseline.
+    // realistic baseline. Driven at queue depth 8 like a real host.
     let profile = TraceProfile::by_name("web").unwrap();
     let background: Vec<_> = profile
         .workload(device.logical_pages(), device.page_size(), 9)
@@ -120,7 +122,10 @@ fn timing_attack_detected_remotely_despite_rate_limiting() {
             r
         })
         .collect();
-    replay(&mut device, background);
+    let mut controller = NvmeController::new(&mut device);
+    let background_queue = controller.create_queue_pair(8);
+    let _ = replay_queued(&mut controller, background_queue, background);
+    drop(controller);
 
     let attack = TimingAttack::new(4, 4, FlashGuardConfig::default().suspect_window_ns * 2);
     let outcome = attack.execute(&mut device, &victims, |_| Ok(())).unwrap();
@@ -142,7 +147,11 @@ fn benign_trace_does_not_false_positive() {
         .workload(device.logical_pages(), device.page_size(), 11)
         .take(3_000)
         .collect();
-    replay(&mut device, records);
+    // Benign traffic at a deep queue: batching must not skew detection.
+    let mut controller = NvmeController::new(&mut device);
+    let queue = controller.create_queue_pair(32);
+    let _ = replay_queued(&mut controller, queue, records);
+    drop(controller);
     device.flush_log().unwrap();
     assert_ne!(
         device.remote().verdict(),
@@ -194,7 +203,10 @@ fn evidence_chain_spans_trace_and_attack() {
             r
         })
         .collect();
-    replay(&mut device, records);
+    let mut controller = NvmeController::new(&mut device);
+    let queue = controller.create_queue_pair(16);
+    let _ = replay_queued(&mut controller, queue, records);
+    drop(controller);
     clock.advance(1_000);
     ClassicRansomware::new(5)
         .execute(&mut device, &victims)
@@ -210,6 +222,91 @@ fn evidence_chain_spans_trace_and_attack() {
     // Backtracking a victim page finds its overwrite.
     let ops = PostAttackAnalyzer::backtrack_lpa(&history, 0);
     assert!(!ops.is_empty());
+}
+
+#[test]
+fn two_hosts_on_separate_queue_pairs_share_one_rssd() {
+    let clock = SimClock::new();
+    let mut device = rssd_over_server(clock.clone());
+    let victims = FileTable::populate(&mut device, 12, 8, 7).unwrap();
+    clock.advance(1_000_000_000);
+    let attack_start = clock.now_ns();
+
+    let page_size = device.page_size();
+    let mut controller = NvmeController::new(&mut device);
+    let victim_q = controller.create_queue_pair(16);
+    let attacker_q = controller.create_queue_pair(16);
+
+    // Victim keeps working on fresh space while the attacker, on its own
+    // queue pair, read-encrypt-overwrites the corpus. Round-robin
+    // arbitration interleaves them on the shared device.
+    let fresh_base = victims.next_lpa();
+    let victim_lpas: Vec<u64> = victims.all_lpas();
+    for (round, &target) in victim_lpas.iter().enumerate() {
+        let id = CommandId(round as u16);
+        controller
+            .submit(
+                victim_q,
+                id,
+                IoCommand::Write {
+                    lpa: fresh_base + (round as u64 % 32),
+                    data: vec![0x20; page_size],
+                },
+            )
+            .unwrap();
+        controller
+            .submit(attacker_q, id, IoCommand::Read { lpa: target })
+            .unwrap();
+        controller.run_to_idle();
+        let ciphertext: Vec<u8> = (0..page_size)
+            .map(|i| (i as u8).wrapping_mul(181).wrapping_add(round as u8))
+            .collect();
+        controller
+            .submit(
+                attacker_q,
+                CommandId(round as u16 | 0x8000),
+                IoCommand::Write {
+                    lpa: target,
+                    data: ciphertext,
+                },
+            )
+            .unwrap();
+        controller.run_to_idle();
+        for queue in [victim_q, attacker_q] {
+            for completion in controller.drain_completions(queue) {
+                assert!(matches!(
+                    completion.result,
+                    Ok(CommandOutcome::Written | CommandOutcome::Read(_))
+                ));
+            }
+        }
+    }
+    let victim_stats = controller.stats(victim_q);
+    let attacker_stats = controller.stats(attacker_q);
+    assert_eq!(victim_stats.writes, victim_lpas.len() as u64);
+    assert_eq!(attacker_stats.reads, victim_lpas.len() as u64);
+    assert_eq!(victim_stats.errors + attacker_stats.errors, 0);
+    drop(controller);
+    device.flush_log().unwrap();
+
+    // The remote detector saw the merged, per-command-logged stream.
+    assert_eq!(device.remote().verdict(), Verdict::Ransomware);
+
+    // Per-queue blame lands on the attacker via the analyzer's victim list:
+    // every flagged page is one the attacker's queue touched.
+    let history = device.verified_history().unwrap();
+    let report = PostAttackAnalyzer::new().analyze(&history, true);
+    assert_eq!(report.attack_class, AttackClass::Classic);
+    for lpa in &report.victim_lpas {
+        assert!(victim_lpas.contains(lpa), "blamed page {lpa} not attacked");
+    }
+
+    // Zero data loss despite the shared device.
+    let recovery =
+        RecoveryEngine::new().restore_before(&mut device, &report.victim_lpas, attack_start);
+    assert_eq!(recovery.pages_unrecoverable, 0);
+    let (intact, total) = victims.verify_intact(&mut device);
+    assert_eq!(intact, total);
 }
 
 #[test]

@@ -31,6 +31,39 @@ fn facade_reexports_construct_a_device_and_round_trip() {
 }
 
 #[test]
+fn facade_reexports_the_queue_layer() {
+    use rssd_repro::ssd::{CommandId, CommandOutcome, IoCommand, NvmeController};
+
+    let mut controller = NvmeController::new(RssdDevice::new(
+        FlashGeometry::small_test(),
+        NandTiming::instant(),
+        SimClock::new(),
+        RssdConfig::default(),
+        LoopbackTarget::new(),
+    ));
+    let queue = controller.create_queue_pair(4);
+    controller
+        .submit(
+            queue,
+            CommandId(0),
+            IoCommand::Write {
+                lpa: 1,
+                data: vec![0x5Au8; 4096],
+            },
+        )
+        .expect("facade-built controller must accept a submission");
+    controller.run_to_idle();
+    assert_eq!(
+        controller
+            .pop_completion(queue)
+            .expect("completion posted")
+            .result,
+        Ok(CommandOutcome::Written),
+        "facade wiring broke the queue-pair round-trip through rssd_repro::ssd::nvme"
+    );
+}
+
+#[test]
 fn facade_reexports_reach_every_member_crate() {
     // One cheap, side-effect-free touch per re-exported crate, so a
     // missing re-export is a compile error pointing here.

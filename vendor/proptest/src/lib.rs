@@ -1,7 +1,7 @@
 //! Property-testing subset of the `proptest` crate (offline stub; see
 //! `vendor/README.md`).
 //!
-//! Provides the [`Strategy`] abstraction (ranges, tuples, `any`,
+//! Provides the [`strategy::Strategy`] abstraction (ranges, tuples, `any`,
 //! [`strategy::Just`], `prop_map`, unions), [`collection::vec`],
 //! [`option::of`], and the [`proptest!`] / [`prop_oneof!`] /
 //! [`prop_assert!`] / [`prop_assert_eq!`] macros. Each test runs
