@@ -1,0 +1,145 @@
+//! Stripe address translation.
+//!
+//! The array exports one flat logical page space and spreads it across its
+//! members in round-robin stripes of `stripe_pages` consecutive pages:
+//! stripe *s* lives on shard `s % shard_count` at local stripe
+//! `s / shard_count`. The translation is a bijection between array LPAs and
+//! `(shard, local LPA)` pairs — property-tested in `tests/stripe_props.rs` —
+//! so no two array pages alias one device page and no device page is
+//! unreachable.
+
+/// Striping geometry: how the array's logical page space maps onto its
+/// member devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StripeLayout {
+    shard_count: usize,
+    stripe_pages: u64,
+    /// Logical pages used per shard (a whole number of stripes).
+    shard_pages: u64,
+}
+
+impl StripeLayout {
+    /// Builds a layout over `shard_count` members, striping `stripe_pages`
+    /// consecutive pages at a time, with `shard_pages` usable pages per
+    /// member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any parameter is zero or `shard_pages` is not a whole
+    /// number of stripes (partial trailing stripes would break the
+    /// bijection).
+    pub fn new(shard_count: usize, stripe_pages: u64, shard_pages: u64) -> Self {
+        assert!(shard_count > 0, "array needs at least one shard");
+        assert!(stripe_pages > 0, "stripe size must be at least one page");
+        assert!(shard_pages > 0, "shards must export at least one page");
+        assert!(
+            shard_pages % stripe_pages == 0,
+            "shard_pages ({shard_pages}) must be a whole number of stripes \
+             (stripe_pages {stripe_pages})"
+        );
+        StripeLayout {
+            shard_count,
+            stripe_pages,
+            shard_pages,
+        }
+    }
+
+    /// Number of member devices.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Consecutive pages per stripe.
+    pub fn stripe_pages(&self) -> u64 {
+        self.stripe_pages
+    }
+
+    /// Usable logical pages per member.
+    pub fn shard_pages(&self) -> u64 {
+        self.shard_pages
+    }
+
+    /// Logical pages the array exports.
+    pub fn logical_pages(&self) -> u64 {
+        self.shard_pages * self.shard_count as u64
+    }
+
+    /// Translates an array LPA to its `(shard, local LPA)` home.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lpa` is beyond [`logical_pages`](Self::logical_pages)
+    /// (the array checks ranges before translating).
+    pub fn locate(&self, lpa: u64) -> (usize, u64) {
+        assert!(lpa < self.logical_pages(), "lpa {lpa} beyond array");
+        let stripe = lpa / self.stripe_pages;
+        let offset = lpa % self.stripe_pages;
+        let shard = (stripe % self.shard_count as u64) as usize;
+        let local = (stripe / self.shard_count as u64) * self.stripe_pages + offset;
+        (shard, local)
+    }
+
+    /// Inverse of [`locate`](Self::locate): the array LPA of a member page.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` or `local` is out of range.
+    pub fn array_lpa(&self, shard: usize, local: u64) -> u64 {
+        assert!(shard < self.shard_count, "shard {shard} beyond array");
+        assert!(local < self.shard_pages, "local lpa {local} beyond shard");
+        let local_stripe = local / self.stripe_pages;
+        let offset = local % self.stripe_pages;
+        let stripe = local_stripe * self.shard_count as u64 + shard as u64;
+        stripe * self.stripe_pages + offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_across_shards() {
+        let l = StripeLayout::new(3, 2, 4);
+        // Stripes of 2 pages rotate over shards 0,1,2.
+        assert_eq!(l.locate(0), (0, 0));
+        assert_eq!(l.locate(1), (0, 1));
+        assert_eq!(l.locate(2), (1, 0));
+        assert_eq!(l.locate(3), (1, 1));
+        assert_eq!(l.locate(4), (2, 0));
+        assert_eq!(l.locate(5), (2, 1));
+        // Second rotation lands on each shard's second stripe.
+        assert_eq!(l.locate(6), (0, 2));
+        assert_eq!(l.locate(11), (2, 3));
+        assert_eq!(l.logical_pages(), 12);
+    }
+
+    #[test]
+    fn locate_and_array_lpa_invert() {
+        let l = StripeLayout::new(4, 8, 64);
+        for lpa in 0..l.logical_pages() {
+            let (shard, local) = l.locate(lpa);
+            assert_eq!(l.array_lpa(shard, local), lpa);
+        }
+    }
+
+    #[test]
+    fn single_shard_is_identity() {
+        let l = StripeLayout::new(1, 16, 64);
+        for lpa in 0..64 {
+            assert_eq!(l.locate(lpa), (0, lpa));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of stripes")]
+    fn partial_trailing_stripe_rejected() {
+        let _ = StripeLayout::new(2, 8, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = StripeLayout::new(0, 8, 8);
+    }
+}

@@ -10,7 +10,7 @@
 //! amortization shows up.
 
 use criterion::{criterion_group, Criterion};
-use rssd_bench::{bench_geometry, mk_plain, mk_rssd, rule};
+use rssd_bench::{bench_geometry, mk_plain, mk_rssd, rule, write_bench_json, BenchRow};
 use rssd_flash::{NandTiming, SimClock};
 use rssd_ssd::{BlockDevice, NvmeController, QueuePairStats};
 use rssd_trace::{replay_queued, IoRecord, PayloadKind, WorkloadBuilder};
@@ -55,6 +55,7 @@ fn print_sweep() {
     );
     println!("{}", rule(66));
     let g = bench_geometry();
+    let mut rows = Vec::new();
     for &depth in &DEPTHS {
         for model in ["plain", "rssd"] {
             let (stats, end_ns) = match model {
@@ -76,7 +77,24 @@ fn print_sweep() {
                 stats.latency.percentile_ns(99.0) as f64 / 1000.0,
                 end_ns as f64 / 1e6,
             );
+            rows.push(BenchRow {
+                config: format!("{model}_qd{depth}"),
+                metrics: vec![
+                    ("mean_us", stats.latency.mean_ns() / 1000.0),
+                    ("p50_us", stats.latency.percentile_ns(50.0) as f64 / 1000.0),
+                    ("p99_us", stats.latency.percentile_ns(99.0) as f64 / 1000.0),
+                    (
+                        "throughput_kiops",
+                        stats.completed as f64 / (end_ns as f64 / 1e9) / 1e3,
+                    ),
+                    ("sim_end_ms", end_ns as f64 / 1e6),
+                ],
+            });
         }
+    }
+    match write_bench_json("qd_sweep", &rows) {
+        Ok(path) => println!("(summary written to {})", path.display()),
+        Err(e) => eprintln!("(could not write BENCH_qd_sweep.json: {e})"),
     }
     println!(
         "(queue latency: submission→completion incl. queueing; deeper queues \

@@ -5,9 +5,12 @@
 //! stdout before running its criterion timings, so `cargo bench` output *is*
 //! the reproduction record.
 
+use rssd_array::RssdArray;
 use rssd_core::{LoopbackTarget, RssdConfig, RssdDevice};
 use rssd_flash::{FlashGeometry, NandTiming, SimClock};
 use rssd_ssd::{FlashGuardSsd, PlainSsd, RetentionMode, RetentionSsd};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Geometry used by most benches: 32 MiB, 4 KiB pages (scaled-down stand-in
 /// for the 256 GiB device in the paper; see DESIGN.md on scaling).
@@ -57,12 +60,97 @@ pub fn mk_rssd(
     )
 }
 
+/// A striped array of `shards` RSSD members, each on its **own** clock
+/// (the parallel time model) over its own loopback remote, striping
+/// `stripe_pages` consecutive pages.
+pub fn mk_array(
+    shards: usize,
+    shard_geometry: FlashGeometry,
+    timing: NandTiming,
+    stripe_pages: u64,
+) -> RssdArray<RssdDevice<LoopbackTarget>> {
+    let members = (0..shards as u64)
+        .map(|i| {
+            RssdDevice::new(
+                shard_geometry,
+                timing,
+                SimClock::new(),
+                RssdConfig {
+                    device_id: i,
+                    segment_pages: 32,
+                    ..RssdConfig::default()
+                },
+                LoopbackTarget::new(),
+            )
+        })
+        .collect();
+    RssdArray::new(members, stripe_pages, SimClock::new())
+}
+
 /// Nanoseconds per simulated day.
 pub const NS_PER_DAY: f64 = 86_400e9;
 
 /// Formats a one-line separator for bench tables.
 pub fn rule(width: usize) -> String {
     "-".repeat(width)
+}
+
+/// One configuration's summary metrics in a bench's machine-readable
+/// output.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Configuration label, e.g. `"rssd_qd32"` or `"4_shards"`.
+    pub config: String,
+    /// Metric name → value pairs, emitted in order.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn json_number(v: f64) -> String {
+    // JSON has no NaN/Infinity; clamp degenerate metrics to null.
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes `BENCH_<name>.json` at the workspace root: the bench's summary
+/// rows (p50/p99/throughput per configuration) as data, so the perf
+/// trajectory can be tracked across PRs instead of scraped from stdout.
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_bench_json(name: &str, rows: &[BenchRow]) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    let mut out = std::fs::File::create(&path)?;
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"bench\": \"{}\",", json_escape(name))?;
+    writeln!(out, "  \"rows\": [")?;
+    for (i, row) in rows.iter().enumerate() {
+        let metrics = row
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("\"{}\": {}", json_escape(k), json_number(*v)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "    {{\"config\": \"{}\", {metrics}}}{comma}",
+            json_escape(&row.config)
+        )?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -87,5 +175,31 @@ mod tests {
             RetentionMode::Compressed,
         );
         loc.write_page(0, vec![1; 4096]).unwrap();
+        let mut arr = mk_array(2, FlashGeometry::small_test(), NandTiming::instant(), 4);
+        arr.write_page(0, vec![1; 4096]).unwrap();
+        assert_eq!(arr.shard_count(), 2);
+    }
+
+    #[test]
+    fn bench_json_is_written_and_well_formed() {
+        let rows = vec![
+            BenchRow {
+                config: "a_qd1".to_string(),
+                metrics: vec![("p50_us", 1.5), ("p99_us", 9.0), ("kiops", 120.0)],
+            },
+            BenchRow {
+                config: "b_qd8".to_string(),
+                metrics: vec![("p50_us", 2.5), ("p99_us", f64::NAN), ("kiops", 300.0)],
+            },
+        ];
+        let path = write_bench_json("selftest", &rows).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(body.contains("\"bench\": \"selftest\""));
+        assert!(body.contains("\"config\": \"a_qd1\""));
+        assert!(body.contains("\"kiops\": 300.000000"));
+        assert!(body.contains("\"p99_us\": null"), "NaN must become null");
+        // No trailing comma before the closing bracket.
+        assert!(!body.contains(",\n  ]"));
     }
 }

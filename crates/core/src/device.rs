@@ -42,6 +42,18 @@ impl OffloadStats {
         }
         self.raw_bytes as f64 / self.sealed_bytes as f64
     }
+
+    /// Merges another device's offload counters into this one — the fleet
+    /// view an array front end reports across its member devices.
+    pub fn merge(&mut self, other: &OffloadStats) {
+        self.segments_offloaded += other.segments_offloaded;
+        self.records_offloaded += other.records_offloaded;
+        self.retained_pages_offloaded += other.retained_pages_offloaded;
+        self.raw_bytes += other.raw_bytes;
+        self.sealed_bytes += other.sealed_bytes;
+        self.offload_failures += other.offload_failures;
+        self.sync_offloads += other.sync_offloads;
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -172,6 +184,16 @@ impl<R: RemoteTarget> RssdDevice<R> {
         &mut self.remote
     }
 
+    /// Consumes the device and returns its remote target — modeling a total
+    /// loss of the local hardware (controller, NAND, pending log) while the
+    /// hardware-isolated remote half of the codesign survives. Everything
+    /// still pinned locally and every record not yet offloaded is gone;
+    /// what remains is exactly what [`crate::RebuildImage::harvest`] can
+    /// reconstruct from the remote evidence chain.
+    pub fn into_remote(self) -> R {
+        self.remote
+    }
+
     /// The device key hierarchy, as escrowed to an investigator. Needed by
     /// [`crate::PostAttackAnalyzer`] to verify the evidence chain and open
     /// segments.
@@ -201,24 +223,13 @@ impl<R: RemoteTarget> RssdDevice<R> {
     /// itself forensic signal.
     pub fn verified_history(&mut self) -> Result<Vec<LogRecord>, String> {
         let chain_key = self.keys.derive(KeyPurpose::EvidenceChain, 0);
-        let mut head = Digest::ZERO;
         let mut out = Vec::new();
-        for seq in self.remote.stored_segments() {
-            let envelope = self
-                .remote
-                .fetch_segment(seq)
-                .map_err(|e| format!("fetch segment {seq}: {e}"))?;
-            let segment = open_envelope(&self.session, &envelope)
-                .map_err(|e| format!("open segment {seq}: {e}"))?;
-            if envelope.prev_chain_head != head {
-                return Err(format!("segment {seq} does not extend the chain"));
-            }
-            let inputs: Vec<Vec<u8>> = segment.records.iter().map(|r| r.chain_bytes()).collect();
-            HashChain::verify_from(&chain_key, head, &inputs, &segment.links)
-                .map_err(|e| format!("segment {seq}: {e}"))?;
-            head = envelope.chain_head;
-            out.extend(segment.records);
-        }
+        let head = crate::rebuild::walk_verified_segments(
+            &chain_key,
+            &self.session,
+            &mut self.remote,
+            |record| out.push(record),
+        )?;
         // Pending tail.
         let inputs: Vec<Vec<u8>> = self.pending.iter().map(|r| r.chain_bytes()).collect();
         HashChain::verify_from(&chain_key, head, &inputs, &self.pending_links)
@@ -521,7 +532,7 @@ enum Source {
     Remote(RemoteVersion),
 }
 
-fn open_envelope(
+pub(crate) fn open_envelope(
     session: &SecureSession,
     envelope: &SegmentEnvelope,
 ) -> Result<Segment, WireError> {

@@ -22,6 +22,10 @@
 //!   spare area to the remote budget (Figure 2's 200+ days).
 //! * **Zero-data-loss recovery** ([`recovery`]) and **trusted post-attack
 //!   analysis** ([`analysis`]) over the combined local + remote log.
+//! * **Remote-assisted rebuild** ([`rebuild`]) — when the local half of the
+//!   codesign is lost entirely, [`RebuildImage`] reconstructs every
+//!   retained page version from the surviving remote evidence chain (the
+//!   foundation of `rssd-array`'s fleet-level fault tolerance).
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ pub mod analysis;
 pub mod config;
 pub mod device;
 pub mod logrec;
+pub mod rebuild;
 pub mod recovery;
 pub mod remote_target;
 
@@ -54,5 +59,6 @@ pub use analysis::{AnalysisReport, AttackClass, PostAttackAnalyzer};
 pub use config::RssdConfig;
 pub use device::{OffloadStats, RssdDevice};
 pub use logrec::{LogOp, LogRecord, Segment, SegmentEnvelope, WireError};
+pub use rebuild::{HarvestReport, RebuildImage};
 pub use recovery::{RecoveryEngine, RecoveryReport};
 pub use remote_target::{LoopbackTarget, RemoteError, RemoteTarget, StoreAck};

@@ -1,0 +1,395 @@
+//! Remote-assisted rebuild of a lost device.
+//!
+//! The paper's codesign splits the defense across two failure domains: the
+//! SSD (local flash, pending log, pinned pages) and the hardware-isolated
+//! remote retention store. When the local half is lost entirely — a died
+//! shard in an array, a stolen machine, firmware bricked by the attacker —
+//! the remote half still holds every offloaded segment, chained and sealed.
+//!
+//! [`RebuildImage::harvest`] walks that surviving evidence chain with the
+//! escrowed device keys, verifies it end to end (a non-verifying chain is
+//! itself forensic signal and aborts the harvest), and indexes every
+//! retained page version by LPA. The image then answers the two questions a
+//! rebuild needs:
+//!
+//! * [`newest`](RebuildImage::newest) — the most recent retained pre-image
+//!   of a page (degraded-mode reads while a replacement is being built), and
+//! * [`version_before`](RebuildImage::version_before) — the version valid
+//!   just before a cut-off time (point-in-time rebuild to pre-attack state).
+//!
+//! What the image *cannot* contain is honest by construction: a page whose
+//! only version was written fresh and never overwritten has no retained
+//! pre-image in the log, and records still pending on the device at the
+//! moment of loss died with it. The zero-data-loss guarantee covers what
+//! ransomware destroys — destruction creates retained versions, and
+//! retention offloads them — not data that existed nowhere but the lost
+//! flash.
+
+use crate::device::open_envelope;
+use crate::logrec::{LogOp, LogRecord};
+use crate::remote_target::RemoteTarget;
+use rssd_crypto::{DeviceKeys, Digest, HashChain, KeyPurpose};
+use rssd_net::SecureSession;
+use std::collections::HashMap;
+
+/// Walks every segment stored on `remote` in chain order, verifying
+/// continuity and per-record HMAC links, and hands each decoded record to
+/// `sink`. Returns the verified chain head. Shared by
+/// [`RssdDevice::verified_history`](crate::RssdDevice::verified_history)
+/// (which appends its pending tail afterwards) and
+/// [`RebuildImage::harvest`] (which has no device left to ask).
+pub(crate) fn walk_verified_segments<R: RemoteTarget>(
+    chain_key: &[u8],
+    session: &SecureSession,
+    remote: &mut R,
+    mut sink: impl FnMut(LogRecord),
+) -> Result<Digest, String> {
+    let mut head = Digest::ZERO;
+    for seq in remote.stored_segments() {
+        let envelope = remote
+            .fetch_segment(seq)
+            .map_err(|e| format!("fetch segment {seq}: {e}"))?;
+        let segment =
+            open_envelope(session, &envelope).map_err(|e| format!("open segment {seq}: {e}"))?;
+        if envelope.prev_chain_head != head {
+            return Err(format!("segment {seq} does not extend the chain"));
+        }
+        let inputs: Vec<Vec<u8>> = segment.records.iter().map(|r| r.chain_bytes()).collect();
+        HashChain::verify_from(chain_key, head, &inputs, &segment.links)
+            .map_err(|e| format!("segment {seq}: {e}"))?;
+        head = envelope.chain_head;
+        for record in segment.records {
+            sink(record);
+        }
+    }
+    Ok(head)
+}
+
+/// One retained page version recovered from the remote store, keyed by the
+/// moment the on-device original was invalidated.
+#[derive(Clone, Debug)]
+struct HarvestedVersion {
+    /// Clock time the version's content was written (the version did not
+    /// exist before this).
+    created_at_ns: u64,
+    /// Clock time the version was invalidated (overwritten or trimmed).
+    invalidated_at_ns: u64,
+    /// Evidence-chain sequence of the invalidating record (total order
+    /// tie-breaker for same-timestamp operations).
+    record_seq: u64,
+    /// The retained page content.
+    data: Vec<u8>,
+}
+
+/// Counters describing one harvest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[must_use]
+pub struct HarvestReport {
+    /// Offloaded segments walked and chain-verified.
+    pub segments: u64,
+    /// Log records examined.
+    pub records: u64,
+    /// Retained page versions indexed.
+    pub versions: u64,
+    /// Distinct logical pages with at least one retained version.
+    pub lpas_covered: u64,
+}
+
+/// The rebuildable state of a lost device, reconstructed entirely from its
+/// remote retention store.
+#[derive(Clone, Debug)]
+pub struct RebuildImage {
+    /// Versions per LPA, sorted ascending by (invalidated_at_ns, record_seq).
+    versions: HashMap<u64, Vec<HarvestedVersion>>,
+    report: HarvestReport,
+}
+
+impl RebuildImage {
+    /// An image retaining nothing — the degraded state a shard falls back
+    /// to when its remote store fails verification (a tampered chain must
+    /// not launder data into recovery).
+    pub fn empty() -> Self {
+        RebuildImage {
+            versions: HashMap::new(),
+            report: HarvestReport::default(),
+        }
+    }
+
+    /// Walks every segment stored on `remote`, verifies the evidence chain
+    /// end to end with the escrowed `keys`, and indexes all retained page
+    /// versions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first verification failure — a chain
+    /// that does not verify means remote tampering, and rebuilding from it
+    /// would launder the tamper into "recovered" data.
+    pub fn harvest<R: RemoteTarget>(keys: &DeviceKeys, remote: &mut R) -> Result<Self, String> {
+        let chain_key = keys.derive(KeyPurpose::EvidenceChain, 0);
+        let session = SecureSession::new(keys, 0);
+        let mut versions: HashMap<u64, Vec<HarvestedVersion>> = HashMap::new();
+        let mut report = HarvestReport::default();
+        // Creation time of each page's *current* content while walking the
+        // log in chain order: a retained version's content was written by
+        // the last Write record for that LPA before the invalidating one.
+        // (Offloaded history is a prefix of the log, so the creating write
+        // is always in the prefix when its invalidation is.)
+        let mut content_written_at: HashMap<u64, u64> = HashMap::new();
+        walk_verified_segments(&chain_key, &session, remote, |record| {
+            report.records += 1;
+            if let Some(data) = &record.old_data {
+                report.versions += 1;
+                versions
+                    .entry(record.lpa)
+                    .or_default()
+                    .push(HarvestedVersion {
+                        created_at_ns: content_written_at.get(&record.lpa).copied().unwrap_or(0),
+                        invalidated_at_ns: record.at_ns,
+                        record_seq: record.seq,
+                        data: data.clone(),
+                    });
+            }
+            match record.op {
+                LogOp::Write => {
+                    content_written_at.insert(record.lpa, record.at_ns);
+                }
+                // A trim leaves the page with no content until rewritten.
+                LogOp::Trim => {
+                    content_written_at.remove(&record.lpa);
+                }
+                LogOp::Read => {}
+            }
+        })?;
+        report.segments = remote.stored_segments().len() as u64;
+        for list in versions.values_mut() {
+            list.sort_by_key(|v| (v.invalidated_at_ns, v.record_seq));
+        }
+        report.lpas_covered = versions.len() as u64;
+        Ok(RebuildImage { versions, report })
+    }
+
+    /// Harvest counters.
+    pub fn report(&self) -> HarvestReport {
+        self.report
+    }
+
+    /// Logical pages with at least one retained version, ascending.
+    pub fn lpas(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.versions.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` when `lpa` has at least one retained version.
+    pub fn covers(&self, lpa: u64) -> bool {
+        self.versions.contains_key(&lpa)
+    }
+
+    /// The newest retained version of `lpa` (the content the most recent
+    /// logged overwrite/trim destroyed), if any.
+    pub fn newest(&self, lpa: u64) -> Option<&[u8]> {
+        self.versions
+            .get(&lpa)
+            .and_then(|list| list.last())
+            .map(|v| v.data.as_slice())
+    }
+
+    /// The version of `lpa` that was valid at `before_ns`: written strictly
+    /// before it and invalidated at or after it. `None` when the page held
+    /// no content at that time — never written yet, or sitting trimmed —
+    /// so a point-in-time rebuild cannot resurrect content created *after*
+    /// the cut-off (a page born mid-attack must come back empty, not
+    /// holding mid-attack data).
+    pub fn version_before(&self, lpa: u64, before_ns: u64) -> Option<&[u8]> {
+        self.versions.get(&lpa).and_then(|list| {
+            list.iter()
+                .find(|v| v.invalidated_at_ns >= before_ns)
+                .filter(|v| v.created_at_ns < before_ns)
+                .map(|v| v.data.as_slice())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RssdConfig;
+    use crate::device::RssdDevice;
+    use crate::remote_target::LoopbackTarget;
+    use rssd_flash::{FlashGeometry, NandTiming, SimClock};
+    use rssd_ssd::BlockDevice;
+
+    fn device(clock: SimClock) -> RssdDevice<LoopbackTarget> {
+        RssdDevice::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            clock,
+            RssdConfig {
+                segment_pages: 4,
+                ..RssdConfig::default()
+            },
+            LoopbackTarget::new(),
+        )
+    }
+
+    fn page(b: u8) -> Vec<u8> {
+        vec![b; 4096]
+    }
+
+    #[test]
+    fn harvest_rebuilds_overwritten_state_without_the_device() {
+        let clock = SimClock::new();
+        let mut d = device(clock.clone());
+        for lpa in 0..8u64 {
+            d.write_page(lpa, page(lpa as u8)).unwrap();
+        }
+        clock.advance(1_000_000);
+        let attack_start = clock.now_ns();
+        for lpa in 0..8u64 {
+            d.write_page(lpa, page(0xEE)).unwrap(); // "ciphertext"
+        }
+        d.flush_log().unwrap();
+
+        // The device dies; only keys + remote survive.
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        let image = RebuildImage::harvest(&keys, &mut remote).unwrap();
+
+        assert_eq!(image.report().lpas_covered, 8);
+        assert!(image.report().segments > 0);
+        for lpa in 0..8u64 {
+            assert!(image.covers(lpa));
+            assert_eq!(image.newest(lpa).unwrap(), page(lpa as u8).as_slice());
+            assert_eq!(
+                image.version_before(lpa, attack_start).unwrap(),
+                page(lpa as u8).as_slice()
+            );
+        }
+        assert_eq!(image.lpas(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn version_before_selects_point_in_time() {
+        let clock = SimClock::new();
+        let mut d = device(clock.clone());
+        d.write_page(3, page(1)).unwrap();
+        clock.advance(1_000_000);
+        let t1 = clock.now_ns();
+        d.write_page(3, page(2)).unwrap();
+        clock.advance(1_000_000);
+        let t2 = clock.now_ns();
+        d.write_page(3, page(3)).unwrap();
+        d.flush_log().unwrap();
+
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        let image = RebuildImage::harvest(&keys, &mut remote).unwrap();
+        assert_eq!(image.version_before(3, t1).unwrap(), page(1).as_slice());
+        assert_eq!(image.version_before(3, t2).unwrap(), page(2).as_slice());
+        assert_eq!(image.newest(3).unwrap(), page(2).as_slice());
+    }
+
+    #[test]
+    fn version_before_does_not_resurrect_pages_born_after_the_cutoff() {
+        let clock = SimClock::new();
+        let mut d = device(clock.clone());
+        clock.advance(1_000);
+        let cutoff = clock.now_ns();
+        clock.advance(1_000);
+        // Page first written after the cutoff, then overwritten (so a
+        // retained version exists — created mid-"attack").
+        d.write_page(4, page(0xAB)).unwrap();
+        clock.advance(1_000);
+        d.write_page(4, page(0xCD)).unwrap();
+        d.flush_log().unwrap();
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        let image = RebuildImage::harvest(&keys, &mut remote).unwrap();
+        assert_eq!(image.newest(4).unwrap(), page(0xAB).as_slice());
+        assert_eq!(
+            image.version_before(4, cutoff),
+            None,
+            "the page held nothing at the cutoff; restoring 0xAB would \
+             resurrect post-cutoff content"
+        );
+    }
+
+    #[test]
+    fn version_before_respects_trim_gaps() {
+        let clock = SimClock::new();
+        let mut d = device(clock.clone());
+        d.write_page(2, page(1)).unwrap();
+        clock.advance(1_000);
+        d.trim_page(2).unwrap();
+        clock.advance(1_000);
+        let mid_gap = clock.now_ns();
+        clock.advance(1_000);
+        d.write_page(2, page(3)).unwrap();
+        clock.advance(1_000);
+        d.write_page(2, page(4)).unwrap();
+        d.flush_log().unwrap();
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        let image = RebuildImage::harvest(&keys, &mut remote).unwrap();
+        // At mid_gap the page sat trimmed: nothing to restore.
+        assert_eq!(image.version_before(2, mid_gap), None);
+        // Before the trim, version 1 was live.
+        assert_eq!(image.version_before(2, 500).unwrap(), page(1).as_slice());
+        // Newest retained is the post-gap content the last write destroyed.
+        assert_eq!(image.newest(2).unwrap(), page(3).as_slice());
+    }
+
+    #[test]
+    fn fresh_never_overwritten_pages_are_honestly_absent() {
+        let mut d = device(SimClock::new());
+        d.write_page(5, page(9)).unwrap();
+        d.flush_log().unwrap();
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        let image = RebuildImage::harvest(&keys, &mut remote).unwrap();
+        assert!(!image.covers(5), "fresh write has no retained pre-image");
+        assert_eq!(image.newest(5), None);
+    }
+
+    #[test]
+    fn pending_unoffloaded_records_die_with_the_device() {
+        let mut d = device(SimClock::new());
+        d.write_page(0, page(1)).unwrap();
+        d.write_page(0, page(2)).unwrap();
+        // No flush_log: the retained pre-image is pinned locally only.
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        let image = RebuildImage::harvest(&keys, &mut remote).unwrap();
+        assert!(!image.covers(0));
+    }
+
+    #[test]
+    fn tampered_remote_fails_harvest() {
+        let mut d = device(SimClock::new());
+        for lpa in 0..4u64 {
+            d.write_page(lpa, page(1)).unwrap();
+            d.write_page(lpa, page(2)).unwrap();
+        }
+        d.flush_log().unwrap();
+        let keys = d.escrow_keys();
+        let mut remote = d.into_remote();
+        // Corrupt one stored payload byte.
+        let seq = remote.stored_segments()[0];
+        let mut envelope = remote.fetch_segment(seq).unwrap();
+        envelope.sealed_payload[0] ^= 0xFF;
+        // Rebuild the store with the tampered envelope (LoopbackTarget has
+        // no in-place mutation; store into a fresh one, chain check off by
+        // replaying in order with matching heads).
+        let mut tampered = LoopbackTarget::new();
+        for s in remote.stored_segments() {
+            let e = if s == seq {
+                envelope.clone()
+            } else {
+                remote.fetch_segment(s).unwrap()
+            };
+            tampered.store_segment(e, 0).unwrap();
+        }
+        let err = RebuildImage::harvest(&keys, &mut tampered).unwrap_err();
+        assert!(err.contains("open segment"), "{err}");
+    }
+}

@@ -29,7 +29,7 @@ pub mod timing;
 
 pub use ensemble::{Ensemble, Verdict};
 pub use entropy::EntropyDetector;
-pub use observation::WriteObservation;
+pub use observation::{merge_time_ordered, WriteObservation};
 pub use pattern::{OverwriteCorrelator, TrimSurgeDetector};
 pub use timing::TimingProfiler;
 

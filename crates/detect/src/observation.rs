@@ -59,6 +59,33 @@ impl WriteObservation {
     }
 }
 
+/// Merges per-device observation streams into one fleet-wide stream in
+/// global time order.
+///
+/// Each input stream must itself be time-ordered (they are: each comes from
+/// one device's evidence chain, which logs in arrival order). Ties on
+/// `at_ns` are broken by stream index, and within a stream the original
+/// order is preserved, so the merge is deterministic.
+///
+/// This is the input side of fleet-level detection: a campaign that spreads
+/// its writes across N shards shows each per-shard detector only 1/N of the
+/// signal, while the merged stream carries all of it (see `ArrayDetector`
+/// in `rssd-array`).
+pub fn merge_time_ordered(streams: &[Vec<WriteObservation>]) -> Vec<WriteObservation> {
+    let total = streams.iter().map(Vec::len).sum();
+    let mut tagged: Vec<(u64, usize, usize)> = Vec::with_capacity(total);
+    for (stream_idx, stream) in streams.iter().enumerate() {
+        for (pos, obs) in stream.iter().enumerate() {
+            tagged.push((obs.at_ns, stream_idx, pos));
+        }
+    }
+    tagged.sort_unstable();
+    tagged
+        .into_iter()
+        .map(|(_, stream_idx, pos)| streams[stream_idx][pos])
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +99,41 @@ mod tests {
         let t = WriteObservation::trim(1, 2);
         assert!(t.is_trim && t.overwrote_valid);
         assert_eq!(t.entropy_bits, 0.0);
+    }
+
+    #[test]
+    fn merge_orders_globally_and_breaks_ties_by_stream() {
+        let a = vec![
+            WriteObservation::fresh_write(10, 1, 1.0),
+            WriteObservation::fresh_write(30, 2, 1.0),
+        ];
+        let b = vec![
+            WriteObservation::fresh_write(10, 3, 2.0),
+            WriteObservation::fresh_write(20, 4, 2.0),
+        ];
+        let merged = merge_time_ordered(&[a, b]);
+        let order: Vec<u64> = merged.iter().map(|o| o.lpa).collect();
+        // t=10 tie: stream 0 first; then t=20 from stream 1, t=30 from 0.
+        assert_eq!(order, vec![1, 3, 4, 2]);
+    }
+
+    #[test]
+    fn merge_of_empty_and_singleton_streams() {
+        assert!(merge_time_ordered(&[]).is_empty());
+        let only = vec![WriteObservation::trim(5, 9)];
+        let merged = merge_time_ordered(&[Vec::new(), only.clone()]);
+        assert_eq!(merged, only);
+    }
+
+    #[test]
+    fn merge_preserves_within_stream_order_at_equal_times() {
+        // Two same-timestamp observations in one stream must not swap.
+        let s = vec![
+            WriteObservation::overwrite(7, 1, 7.9, false),
+            WriteObservation::overwrite(7, 2, 7.9, false),
+        ];
+        let merged = merge_time_ordered(&[s]);
+        assert_eq!(merged[0].lpa, 1);
+        assert_eq!(merged[1].lpa, 2);
     }
 }

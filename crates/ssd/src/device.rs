@@ -17,6 +17,14 @@ pub enum DeviceError {
     },
     /// The FTL refused the operation.
     Ftl(FtlError),
+    /// The addressed page lives on a failed array member whose local flash
+    /// is gone. Reads may still be served in degraded mode from the remote
+    /// retention store; writes and trims are refused until the shard has
+    /// been rebuilt (see `rssd-array`).
+    ShardFailed {
+        /// Index of the failed member within its array.
+        shard: usize,
+    },
     /// The device could not make forward progress (no reclaimable space and
     /// the retention policy refuses to release anything).
     Stalled,
@@ -29,6 +37,12 @@ impl std::fmt::Display for DeviceError {
                 write!(f, "lpa {lpa} out of range ({logical_pages} logical pages)")
             }
             DeviceError::Ftl(e) => write!(f, "ftl: {e}"),
+            DeviceError::ShardFailed { shard } => {
+                write!(
+                    f,
+                    "array shard {shard} failed: local flash lost, awaiting rebuild"
+                )
+            }
             DeviceError::Stalled => write!(f, "device stalled: retention policy holds all space"),
         }
     }
@@ -208,6 +222,13 @@ mod tests {
         assert!(e.to_string().contains("ftl"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&DeviceError::Stalled).is_none());
+    }
+
+    #[test]
+    fn shard_failed_names_the_shard() {
+        let e = DeviceError::ShardFailed { shard: 2 };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -345,6 +345,22 @@ pub struct QueuePairStats {
     pub latency: LatencyStats,
 }
 
+impl QueuePairStats {
+    /// Merges another queue pair's accounting into this one — the fleet
+    /// view: an array front end reports one aggregate over the per-shard
+    /// (or per-tenant) queue pairs.
+    pub fn merge(&mut self, other: &QueuePairStats) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.errors += other.errors;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.trims += other.trims;
+        self.flushes += other.flushes;
+        self.latency.merge(&other.latency);
+    }
+}
+
 /// A submission/completion ring pair plus its accounting.
 #[derive(Debug)]
 struct QueuePair {
@@ -431,8 +447,15 @@ impl<D: BlockDevice> NvmeController<D> {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero.
+    /// Panics if `depth` is zero — a zero-depth pair could neither accept a
+    /// submission nor post a completion, so every later operation on it
+    /// would fail in ways that are much harder to diagnose than this.
     pub fn create_queue_pair(&mut self, depth: usize) -> QueueId {
+        assert!(
+            depth > 0,
+            "queue pair depth must be at least 1 (a depth-0 ring can neither \
+             accept submissions nor post completions)"
+        );
         let id = QueueId(u16::try_from(self.queues.len()).expect("too many queue pairs"));
         self.queues.push(QueuePair::new(depth));
         id
@@ -773,6 +796,49 @@ mod tests {
         c.run_to_idle();
         // Posted (even if un-reaped) frees the id, NVMe style.
         c.submit(q, CommandId(5), IoCommand::Flush).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "queue pair depth must be at least 1")]
+    fn zero_depth_queue_pair_is_rejected_loudly() {
+        // Regression: a depth-0 pair used to construct an unusable ring and
+        // only fail later, deep inside the ring arithmetic.
+        let mut c = controller();
+        let _ = c.create_queue_pair(0);
+    }
+
+    #[test]
+    fn queue_pair_stats_merge_aggregates_counters_and_latency() {
+        let mut c = controller();
+        let a = c.create_queue_pair(8);
+        let b = c.create_queue_pair(8);
+        c.submit(
+            a,
+            CommandId(0),
+            IoCommand::Write {
+                lpa: 0,
+                data: page(1),
+            },
+        )
+        .unwrap();
+        c.submit(a, CommandId(1), IoCommand::Read { lpa: 0 })
+            .unwrap();
+        c.submit(b, CommandId(0), IoCommand::Trim { lpa: 1 })
+            .unwrap();
+        c.submit(b, CommandId(1), IoCommand::Flush).unwrap();
+        c.run_to_idle();
+        let mut merged = c.stats(a).clone();
+        merged.merge(c.stats(b));
+        assert_eq!(merged.submitted, 4);
+        assert_eq!(merged.completed, 4);
+        assert_eq!(
+            (merged.reads, merged.writes, merged.trims, merged.flushes),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(
+            merged.latency.count(),
+            c.stats(a).latency.count() + c.stats(b).latency.count()
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! * [`profiles`] — the twelve named trace models of Figure 2.
 //! * [`mod@replay`] — drives any [`rssd_ssd::BlockDevice`] from a record
 //!   stream through the NVMe-style queue layer, at a configurable queue
-//!   depth ([`replay_queued`]) or scalar-compatibly ([`replay()`]).
+//!   depth ([`replay_queued`]), fanned out across several queue pairs
+//!   ([`replay_fanout`]), or scalar-compatibly ([`replay()`]).
 
 pub mod profiles;
 pub mod record;
@@ -25,6 +26,6 @@ pub mod zipf;
 
 pub use profiles::TraceProfile;
 pub use record::{synthesize_page, IoOp, IoRecord, PayloadKind};
-pub use replay::{replay, replay_queued, ReplayOutcome, ReplayStats};
+pub use replay::{replay, replay_fanout, replay_queued, ReplayOutcome, ReplayStats};
 pub use synth::{Workload, WorkloadBuilder};
 pub use zipf::Zipf;

@@ -4,8 +4,12 @@
 //! [`replay_queued`] is the primary entry point: it drives an
 //! [`NvmeController`] queue pair, keeping its submission ring as full as the
 //! trace allows, so the device sees real queue depth and can batch work per
-//! arbitration round. [`replay`] is the scalar-compatible wrapper — a
-//! depth-1 queue pair over a borrowed device — preserving the historical
+//! arbitration round. [`replay_fanout`] generalizes it to several queue
+//! pairs at once — records spread round-robin across the pairs, the way a
+//! multi-host front end drives a striped array (each arbitration round then
+//! carries commands from every host, which an `RssdArray` splits per shard
+//! and executes in parallel). [`replay`] is the scalar-compatible wrapper —
+//! a depth-1 queue pair over a borrowed device — preserving the historical
 //! one-command-at-a-time semantics.
 
 use crate::record::{synthesize_page, IoOp, IoRecord};
@@ -80,38 +84,41 @@ impl ReplayOutcome {
     }
 }
 
-/// Book-keeping for one queued replay: maps in-flight command ids back to
-/// their source records and folds completions into the stats.
+/// Book-keeping for one (possibly fanned-out) replay: maps in-flight
+/// `(queue, command id)` pairs back to their source records and folds
+/// completions into the stats.
 struct ReplayDriver {
     stats: ReplayStats,
-    in_flight: HashMap<u16, IoRecord>,
-    next_id: u16,
+    in_flight: HashMap<(u16, u16), IoRecord>,
+    /// Next command id to try, per driven queue pair.
+    next_id: Vec<u16>,
     abort: Option<(IoRecord, DeviceError)>,
 }
 
 impl ReplayDriver {
-    fn new() -> Self {
+    fn new(queue_count: usize) -> Self {
         ReplayDriver {
             stats: ReplayStats::default(),
             in_flight: HashMap::new(),
-            next_id: 0,
+            next_id: vec![0; queue_count],
             abort: None,
         }
     }
 
-    /// Allocates a command id unused among in-flight commands (queue depth
-    /// is far below the 64 Ki id space, so the scan terminates quickly).
-    fn alloc_id(&mut self) -> CommandId {
-        while self.in_flight.contains_key(&self.next_id) {
-            self.next_id = self.next_id.wrapping_add(1);
+    /// Allocates a command id unused among in-flight commands of `queue`
+    /// (queue depth is far below the 64 Ki id space, so the scan terminates
+    /// quickly).
+    fn alloc_id(&mut self, qi: usize, queue: QueueId) -> CommandId {
+        while self.in_flight.contains_key(&(queue.0, self.next_id[qi])) {
+            self.next_id[qi] = self.next_id[qi].wrapping_add(1);
         }
-        let id = self.next_id;
-        self.next_id = self.next_id.wrapping_add(1);
+        let id = self.next_id[qi];
+        self.next_id[qi] = self.next_id[qi].wrapping_add(1);
         CommandId(id)
     }
 
-    fn absorb(&mut self, completion: Completion) {
-        let Some(record) = self.in_flight.remove(&completion.id.0) else {
+    fn absorb(&mut self, queue: QueueId, completion: Completion) {
+        let Some(record) = self.in_flight.remove(&(queue.0, completion.id.0)) else {
             // A stale completion the caller left un-reaped on this queue
             // pair before the replay started: not ours, not counted.
             return;
@@ -131,9 +138,11 @@ impl ReplayDriver {
         }
     }
 
-    fn reap<D: BlockDevice>(&mut self, controller: &mut NvmeController<D>, queue: QueueId) {
-        while let Some(completion) = controller.pop_completion(queue) {
-            self.absorb(completion);
+    fn reap<D: BlockDevice>(&mut self, controller: &mut NvmeController<D>, queues: &[QueueId]) {
+        for &queue in queues {
+            while let Some(completion) = controller.pop_completion(queue) {
+                self.absorb(queue, completion);
+            }
         }
     }
 
@@ -181,11 +190,40 @@ where
     D: BlockDevice,
     I: IntoIterator<Item = IoRecord>,
 {
-    let mut driver = ReplayDriver::new();
+    replay_fanout(controller, &[queue], records)
+}
+
+/// Replays `records` fanned out round-robin across several queue pairs of
+/// one controller — the multi-host shape: each record (all of its pages)
+/// lands on one pair, every pair is kept as full as the trace allows, and
+/// each arbitration round carries commands from all of them. Against an
+/// `RssdArray` device this is the scale-out pipeline: the round's batch is
+/// split per shard and the shards execute in parallel.
+///
+/// Semantics otherwise match [`replay_queued`] (which is the single-queue
+/// special case): the clock paces to arrivals work-conservingly, stalls are
+/// counted and skipped, the first non-stall error aborts after in-flight
+/// commands drain.
+///
+/// # Panics
+///
+/// Panics if `queues` is empty or names a queue pair that does not exist on
+/// `controller`.
+pub fn replay_fanout<D, I>(
+    controller: &mut NvmeController<D>,
+    queues: &[QueueId],
+    records: I,
+) -> ReplayOutcome
+where
+    D: BlockDevice,
+    I: IntoIterator<Item = IoRecord>,
+{
+    assert!(!queues.is_empty(), "fan-out needs at least one queue pair");
+    let mut driver = ReplayDriver::new(queues.len());
     let page_size = controller.device().page_size();
     let logical_pages = controller.device().logical_pages();
 
-    'records: for record in records {
+    'records: for (index, record) in records.into_iter().enumerate() {
         // Work conservation: if this arrival is in the device's future, the
         // device would have drained its backlog before idling — execute
         // everything pending at the current clock before jumping forward.
@@ -193,10 +231,10 @@ where
         // the backlog stays queued and batches up.)
         while controller.device().clock().now_ns() < record.at_ns && !driver.in_flight.is_empty() {
             if controller.process_round() == 0 {
-                driver.reap(controller, queue);
+                driver.reap(controller, queues);
                 break;
             }
-            driver.reap(controller, queue);
+            driver.reap(controller, queues);
             if driver.abort.is_some() {
                 break 'records;
             }
@@ -205,6 +243,8 @@ where
         driver.stats.records += 1;
         driver.stats.end_ns = record.at_ns;
 
+        let qi = index % queues.len();
+        let queue = queues[qi];
         for i in 0..u64::from(record.pages) {
             let lpa = record.lpa + i;
             if lpa >= logical_pages {
@@ -221,16 +261,16 @@ where
             // Make room: process and reap until a submission slot frees up.
             while controller.submission_queue(queue).free() == 0 {
                 controller.process_round();
-                driver.reap(controller, queue);
+                driver.reap(controller, queues);
                 if driver.abort.is_some() {
                     break 'records;
                 }
             }
-            let id = driver.alloc_id();
+            let id = driver.alloc_id(qi, queue);
             controller
                 .submit(queue, id, command)
                 .expect("submission slot verified free");
-            driver.in_flight.insert(id.0, record);
+            driver.in_flight.insert((queue.0, id.0), record);
         }
     }
 
@@ -238,14 +278,14 @@ where
     // left in the submission queue to execute behind the caller's back.
     while !driver.in_flight.is_empty() {
         let executed = controller.process_round();
-        driver.reap(controller, queue);
+        driver.reap(controller, queues);
         if executed == 0 && !driver.in_flight.is_empty() {
             // Only possible if another tenant's queue wedged the round;
             // keep reaping our own completions but avoid spinning forever.
             break;
         }
     }
-    driver.reap(controller, queue);
+    driver.reap(controller, queues);
     driver.finish()
 }
 
@@ -490,6 +530,70 @@ mod tests {
         fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
             self.0.trim_page(lpa)
         }
+    }
+
+    #[test]
+    fn fanout_across_queues_matches_single_queue_totals() {
+        let recs: Vec<_> = WorkloadBuilder::new(64)
+            .seed(17)
+            .read_fraction(0.3)
+            .trim_fraction(0.05)
+            .build()
+            .take(400)
+            .collect();
+        let mut single = NvmeController::new(device());
+        let q = single.create_queue_pair(8);
+        let single_stats = replay_queued(&mut single, q, recs.clone()).expect_completed();
+
+        let mut fanned = NvmeController::new(device());
+        let queues: Vec<QueueId> = (0..4).map(|_| fanned.create_queue_pair(8)).collect();
+        let fan_stats = replay_fanout(&mut fanned, &queues, recs).expect_completed();
+
+        assert_eq!(fan_stats.records, single_stats.records);
+        assert_eq!(fan_stats.pages_written, single_stats.pages_written);
+        assert_eq!(fan_stats.pages_read, single_stats.pages_read);
+        assert_eq!(fan_stats.pages_trimmed, single_stats.pages_trimmed);
+        // Every queue pair carried work and drained fully.
+        for &queue in &queues {
+            assert!(fanned.stats(queue).completed > 0, "{queue} idle");
+            assert_eq!(fanned.outstanding(queue), 0);
+        }
+        let total: u64 = queues.iter().map(|&q| fanned.stats(q).completed).sum();
+        assert_eq!(
+            total,
+            fan_stats.pages_written + fan_stats.pages_read + fan_stats.pages_trimmed
+        );
+    }
+
+    #[test]
+    fn fanout_aborts_cleanly_on_every_queue() {
+        let mut controller = NvmeController::new(FailingReads(device()));
+        let queues: Vec<QueueId> = (0..3).map(|_| controller.create_queue_pair(4)).collect();
+        let records = vec![
+            IoRecord::write(0, 0, PayloadKind::Text, 1),
+            IoRecord::write(5, 1, PayloadKind::Text, 2),
+            IoRecord::read(10, 0),
+            IoRecord::write(20, 2, PayloadKind::Text, 3),
+        ];
+        match replay_fanout(&mut controller, &queues, records) {
+            ReplayOutcome::Aborted { record, error, .. } => {
+                assert_eq!(record.op, IoOp::Read);
+                assert!(matches!(error, DeviceError::OutOfRange { .. }));
+            }
+            ReplayOutcome::Completed(_) => panic!("must abort on read failure"),
+        }
+        for &queue in &queues {
+            assert_eq!(controller.outstanding(queue), 0);
+            assert!(controller.submission_queue(queue).is_empty());
+            assert!(controller.completion_queue(queue).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue pair")]
+    fn fanout_rejects_empty_queue_list() {
+        let mut controller = NvmeController::new(device());
+        let _ = replay_fanout(&mut controller, &[], Vec::new());
     }
 
     #[test]

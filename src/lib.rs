@@ -4,6 +4,7 @@
 //! use a single dependency. See `DESIGN.md` for the system inventory and
 //! `EXPERIMENTS.md` for the experiment index.
 
+pub use rssd_array as array;
 pub use rssd_attacks as attacks;
 pub use rssd_compress as compress;
 pub use rssd_core as core;
