@@ -44,9 +44,119 @@
 //!   tail keep coming from the remote image.
 
 use crate::layout::StripeLayout;
-use rssd_core::{HarvestReport, OffloadStats, RebuildImage, RemoteTarget, RssdDevice};
+use rssd_core::{
+    CrashRecovery, CrashReport, HarvestReport, OffloadStats, RebuildImage, RemoteTarget, RssdDevice,
+};
 use rssd_flash::SimClock;
 use rssd_ssd::{BlockDevice, CommandOutcome, CommandResult, DeviceError, IoCommand, LatencyStats};
+
+/// Typed failures of the array lifecycle operations. Every condition the
+/// fault injector can provoke — a second shard dying mid-rebuild, a
+/// replacement refusing a restore write, a tampered salvage — surfaces as a
+/// variant instead of a panic or an opaque string.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// Shard index beyond the member count.
+    NoSuchShard {
+        /// The offending index.
+        shard: usize,
+        /// Members in the array.
+        shards: usize,
+    },
+    /// The operation needs a live shard (e.g. failing it).
+    ShardNotLive {
+        /// The shard in question.
+        shard: usize,
+    },
+    /// The operation needs a degraded shard (e.g. starting a rebuild).
+    ShardNotDegraded {
+        /// The shard in question.
+        shard: usize,
+    },
+    /// The operation needs a rebuilding shard (e.g. stepping a rebuild).
+    ShardNotRebuilding {
+        /// The shard in question.
+        shard: usize,
+    },
+    /// The failed member's surviving evidence chain did not verify; the
+    /// shard went degraded over an *empty* image (a tampered store must not
+    /// launder data into recovery).
+    SalvageFailed {
+        /// The shard whose salvage failed.
+        shard: usize,
+        /// First verification failure.
+        detail: String,
+    },
+    /// The replacement device does not match the array geometry.
+    ReplacementMismatch {
+        /// What differs.
+        detail: String,
+    },
+    /// The replacement refused a restore write mid-rebuild (e.g. its own
+    /// remote is unreachable and it stalled). The shard stays `Rebuilding`
+    /// at its current progress; the step can be retried once the cause
+    /// clears, or the shard failed again.
+    RestoreWriteFailed {
+        /// The rebuilding shard.
+        shard: usize,
+        /// Member-local page whose restore failed.
+        local_lpa: u64,
+        /// The device error the replacement returned.
+        error: DeviceError,
+    },
+    /// A member failed post-crash recovery (unreachable or tampered remote).
+    MemberRecoveryFailed {
+        /// The crashed member.
+        shard: usize,
+        /// The member's recovery error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArrayError::NoSuchShard { shard, shards } => {
+                write!(f, "no shard {shard} (array has {shards} members)")
+            }
+            ArrayError::ShardNotLive { shard } => write!(f, "shard {shard} is not live"),
+            ArrayError::ShardNotDegraded { shard } => {
+                write!(f, "shard {shard} is not degraded")
+            }
+            ArrayError::ShardNotRebuilding { shard } => {
+                write!(f, "shard {shard} is not rebuilding")
+            }
+            ArrayError::SalvageFailed { shard, detail } => {
+                write!(f, "salvage of shard {shard} failed verification: {detail}")
+            }
+            ArrayError::ReplacementMismatch { detail } => {
+                write!(f, "replacement does not fit the array: {detail}")
+            }
+            ArrayError::RestoreWriteFailed {
+                shard,
+                local_lpa,
+                error,
+            } => write!(
+                f,
+                "shard {shard} rebuild: replacement refused restore write of \
+                 local page {local_lpa}: {error}"
+            ),
+            ArrayError::MemberRecoveryFailed { shard, detail } => {
+                write!(f, "shard {shard} failed post-crash recovery: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArrayError::RestoreWriteFailed { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
 
 /// The surviving half of a failed member: the chain-verified image of its
 /// remote retention store.
@@ -510,33 +620,110 @@ impl<D: BlockDevice> BlockDevice for RssdArray<D> {
 }
 
 impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
+    fn check_shard(&self, shard: usize) -> Result<(), ArrayError> {
+        if shard >= self.shards.len() {
+            return Err(ArrayError::NoSuchShard {
+                shard,
+                shards: self.shards.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Kills member `shard`: its local half (controller, NAND, pinned pages,
     /// pending log) is gone. The member's remote retention store is
     /// harvested into a chain-verified [`RebuildImage`] and the shard goes
     /// degraded — reads served from the image, writes refused.
     ///
+    /// A *rebuilding* shard can fail again (the double-failure case the
+    /// fault injector provokes): the replacement is lost and the shard
+    /// falls back to degraded service over its original salvage image —
+    /// progress is discarded, data is not.
+    ///
     /// # Errors
     ///
-    /// Errors when the shard is not live, or when the surviving evidence
-    /// chain fails verification (the shard still goes degraded, but over an
-    /// empty image: a tampered store must not launder data into recovery).
-    pub fn fail_shard(&mut self, shard: usize) -> Result<HarvestReport, String> {
-        if shard >= self.shards.len() {
-            return Err(format!("no shard {shard}"));
+    /// [`ArrayError::ShardNotLive`] when the shard is already degraded, or
+    /// [`ArrayError::SalvageFailed`] when the surviving evidence chain fails
+    /// verification (the shard still goes degraded, but over an empty
+    /// image: a tampered store must not launder data into recovery).
+    pub fn fail_shard(&mut self, shard: usize) -> Result<HarvestReport, ArrayError> {
+        self.check_shard(shard)?;
+        match self.shards[shard] {
+            ShardState::Live(_) => {
+                let ShardState::Live(device) = self.take_state(shard) else {
+                    unreachable!("liveness checked above")
+                };
+                let keys = device.escrow_keys();
+                let mut remote = device.into_remote();
+                let image = RebuildImage::harvest(&keys, &mut remote)
+                    .map_err(|detail| ArrayError::SalvageFailed { shard, detail })?;
+                let report = image.report();
+                self.shards[shard] = ShardState::Degraded(SalvagedShard { image });
+                Ok(report)
+            }
+            ShardState::Rebuilding { .. } => {
+                // Second failure mid-rebuild: the replacement dies too. The
+                // original salvage image still covers everything the first
+                // failure salvaged, so degraded reads keep flowing from it.
+                let ShardState::Rebuilding { salvage, .. } = self.take_state(shard) else {
+                    unreachable!("rebuilding state matched above")
+                };
+                let report = salvage.image.report();
+                self.shards[shard] = ShardState::Degraded(salvage);
+                Ok(report)
+            }
+            ShardState::Degraded(_) => Err(ArrayError::ShardNotLive { shard }),
         }
-        if !matches!(self.shards[shard], ShardState::Live(_)) {
-            return Err(format!("shard {shard} is not live"));
+    }
+
+    /// Simulated power loss of the whole enclosure: every reachable member
+    /// crashes (volatile controller state dropped — see
+    /// [`RssdDevice::crash`]). Degraded members have no local half left to
+    /// crash; their salvage images are remote-derived and survive. Returns
+    /// the fleet-summed crash report.
+    pub fn crash(&mut self) -> CrashReport {
+        let mut merged = CrashReport::default();
+        for state in &mut self.shards {
+            if let ShardState::Live(d) | ShardState::Rebuilding { device: d, .. } = state {
+                let r = d.crash();
+                merged.pending_records_lost += r.pending_records_lost;
+                merged.pending_preimages_lost += r.pending_preimages_lost;
+                merged.chain_len_at_crash += r.chain_len_at_crash;
+            }
         }
-        let ShardState::Live(device) = self.take_state(shard) else {
-            unreachable!("liveness checked above")
+        merged
+    }
+
+    /// Recovers every crashed member (see [`RssdDevice::recover`]),
+    /// returning fleet-summed recovery counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ArrayError::MemberRecoveryFailed`] naming the first member whose
+    /// remote was unreachable or failed chain verification; members before
+    /// it are recovered, members after it remain crashed.
+    pub fn recover(&mut self) -> Result<CrashRecovery, ArrayError> {
+        let mut merged = CrashRecovery {
+            segments_walked: 0,
+            records_indexed: 0,
+            versions_indexed: 0,
+            resumed_seq: 0,
         };
-        let keys = device.escrow_keys();
-        let mut remote = device.into_remote();
-        let image = RebuildImage::harvest(&keys, &mut remote)
-            .map_err(|e| format!("salvage of shard {shard} failed verification: {e}"))?;
-        let report = image.report();
-        self.shards[shard] = ShardState::Degraded(SalvagedShard { image });
-        Ok(report)
+        for (shard, state) in self.shards.iter_mut().enumerate() {
+            if let ShardState::Live(d) | ShardState::Rebuilding { device: d, .. } = state {
+                if !d.is_crashed() {
+                    continue;
+                }
+                let r = d
+                    .recover()
+                    .map_err(|detail| ArrayError::MemberRecoveryFailed { shard, detail })?;
+                merged.segments_walked += r.segments_walked;
+                merged.records_indexed += r.records_indexed;
+                merged.versions_indexed += r.versions_indexed;
+                merged.resumed_seq += r.resumed_seq;
+            }
+        }
+        Ok(merged)
     }
 
     /// Starts rebuilding a degraded shard onto `replacement` (a fresh RSSD
@@ -547,29 +734,36 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
     ///
     /// # Errors
     ///
-    /// Errors when the shard is not degraded or the replacement does not
-    /// match the array geometry.
+    /// [`ArrayError::ShardNotDegraded`] when the shard is live or already
+    /// rebuilding, [`ArrayError::ReplacementMismatch`] when the replacement
+    /// does not match the array geometry.
     pub fn begin_rebuild(
         &mut self,
         shard: usize,
         replacement: RssdDevice<R>,
         restore_before_ns: Option<u64>,
-    ) -> Result<(), String> {
-        if shard >= self.shards.len() {
-            return Err(format!("no shard {shard}"));
-        }
+    ) -> Result<(), ArrayError> {
+        self.check_shard(shard)?;
         if !matches!(self.shards[shard], ShardState::Degraded(_)) {
-            return Err(format!("shard {shard} is not degraded"));
+            return Err(ArrayError::ShardNotDegraded { shard });
         }
         if replacement.page_size() != self.page_size {
-            return Err("replacement page size differs from the array".to_string());
+            return Err(ArrayError::ReplacementMismatch {
+                detail: format!(
+                    "page size {} differs from the array's {}",
+                    replacement.page_size(),
+                    self.page_size
+                ),
+            });
         }
         if replacement.logical_pages() < self.layout.shard_pages() {
-            return Err(format!(
-                "replacement exports {} pages, shard needs {}",
-                replacement.logical_pages(),
-                self.layout.shard_pages()
-            ));
+            return Err(ArrayError::ReplacementMismatch {
+                detail: format!(
+                    "exports {} pages, shard needs {}",
+                    replacement.logical_pages(),
+                    self.layout.shard_pages()
+                ),
+            });
         }
         replacement.clock().advance_to(self.clock.now_ns());
         let ShardState::Degraded(salvage) = self.take_state(shard) else {
@@ -595,11 +789,17 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
     ///
     /// # Errors
     ///
-    /// Errors when the shard is not rebuilding.
-    pub fn rebuild_step(&mut self, shard: usize, pages: u64) -> Result<RebuildProgress, String> {
-        if shard >= self.shards.len() {
-            return Err(format!("no shard {shard}"));
-        }
+    /// [`ArrayError::ShardNotRebuilding`] when no rebuild is in progress,
+    /// or [`ArrayError::RestoreWriteFailed`] when the replacement refuses a
+    /// restore write (it may have stalled on its own unreachable remote).
+    /// After the latter the shard *stays* rebuilding at its last good page —
+    /// the step is retryable, or the shard can be failed again.
+    pub fn rebuild_step(
+        &mut self,
+        shard: usize,
+        pages: u64,
+    ) -> Result<RebuildProgress, ArrayError> {
+        self.check_shard(shard)?;
         let total = self.layout.shard_pages();
         let start = self.clock.now_ns();
         let progress = match &mut self.shards[shard] {
@@ -612,6 +812,7 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
             } => {
                 device.clock().advance_to(start);
                 let target = (*copied + pages).min(total);
+                let mut failed = None;
                 while *copied < target {
                     let local = *copied;
                     let data = match restore_before_ns {
@@ -619,14 +820,22 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
                         None => salvage.image.newest(local),
                     };
                     if let Some(data) = data {
-                        device
-                            .write_page(local, data.to_vec())
-                            .expect("replacement must accept restore writes");
+                        if let Err(error) = device.write_page(local, data.to_vec()) {
+                            failed = Some(ArrayError::RestoreWriteFailed {
+                                shard,
+                                local_lpa: local,
+                                error,
+                            });
+                            break;
+                        }
                         *restored += 1;
                     }
                     *copied += 1;
                 }
                 self.clock.advance_to(device.clock().now_ns());
+                if let Some(e) = failed {
+                    return Err(e);
+                }
                 RebuildProgress {
                     copied_pages: *copied,
                     total_pages: total,
@@ -634,7 +843,7 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
                     done: *copied == total,
                 }
             }
-            _ => return Err(format!("shard {shard} is not rebuilding")),
+            _ => return Err(ArrayError::ShardNotRebuilding { shard }),
         };
         if progress.done {
             let ShardState::Rebuilding { device, .. } = self.take_state(shard) else {
@@ -656,7 +865,7 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
         shard: usize,
         replacement: RssdDevice<R>,
         restore_before_ns: Option<u64>,
-    ) -> Result<RebuildProgress, String> {
+    ) -> Result<RebuildProgress, ArrayError> {
         self.begin_rebuild(shard, replacement, restore_before_ns)?;
         self.rebuild_step(shard, self.layout.shard_pages())
     }

@@ -54,6 +54,6 @@ pub mod array;
 pub mod detector;
 pub mod layout;
 
-pub use array::{RebuildProgress, RssdArray, ShardStatus};
+pub use array::{ArrayError, RebuildProgress, RssdArray, ShardStatus};
 pub use detector::{ArrayDetector, FleetReport};
 pub use layout::StripeLayout;

@@ -2,7 +2,7 @@
 //! reads, incremental remote-assisted rebuild, and the parallel time model
 //! (aggregate throughput must scale with shard count).
 
-use rssd_array::{RssdArray, ShardStatus};
+use rssd_array::{ArrayError, RssdArray, ShardStatus};
 use rssd_core::{LoopbackTarget, RssdConfig, RssdDevice};
 use rssd_flash::{FlashGeometry, NandTiming, SimClock};
 use rssd_ssd::{BlockDevice, DeviceError, IoCommand};
@@ -167,6 +167,153 @@ fn incremental_rebuild_brings_regions_online_and_restores_point_in_time() {
     // The rebuild itself is evidence: the replacement logged its restore
     // writes.
     assert!(array.shard(0).unwrap().chain_len() > 0);
+}
+
+#[test]
+fn lifecycle_misuse_yields_typed_errors_not_panics() {
+    let mut array = rssd_array(2, NandTiming::instant());
+    assert_eq!(
+        array.fail_shard(9).unwrap_err(),
+        ArrayError::NoSuchShard {
+            shard: 9,
+            shards: 2
+        }
+    );
+    assert_eq!(
+        array
+            .begin_rebuild(0, rssd_shard(5, NandTiming::instant()), None)
+            .unwrap_err(),
+        ArrayError::ShardNotDegraded { shard: 0 }
+    );
+    assert_eq!(
+        array.rebuild_step(0, 8).unwrap_err(),
+        ArrayError::ShardNotRebuilding { shard: 0 }
+    );
+    let _ = array.fail_shard(0).unwrap();
+    assert_eq!(
+        array.fail_shard(0).unwrap_err(),
+        ArrayError::ShardNotLive { shard: 0 }
+    );
+}
+
+#[test]
+fn second_shard_death_mid_rebuild_is_survivable() {
+    // The double-failure case the fault injector provokes: shard 0 dies and
+    // is rebuilding when shard 1 dies too. Historically this path was only
+    // reachable through panicking code; now every transition is a typed
+    // result and the array keeps serving whatever the remotes retained.
+    let mut array = rssd_array(3, NandTiming::instant());
+    let corpus: Vec<u64> = (0..36).collect();
+    for &lpa in &corpus {
+        array.write_page(lpa, page(lpa as u8)).unwrap();
+    }
+    for &lpa in &corpus {
+        array.write_page(lpa, page(0xEE)).unwrap();
+    }
+    array.flush().unwrap();
+    let layout = *array.layout();
+
+    let _ = array.fail_shard(0).unwrap();
+    array
+        .begin_rebuild(0, rssd_shard(7, NandTiming::instant()), None)
+        .unwrap();
+    let _ = array.rebuild_step(0, 4).unwrap();
+
+    // Second failure while shard 0 is mid-rebuild.
+    let report = array.fail_shard(1).unwrap();
+    assert!(report.versions > 0);
+    assert_eq!(array.shard_status(1), ShardStatus::Degraded);
+    assert!(matches!(
+        array.shard_status(0),
+        ShardStatus::Rebuilding { .. }
+    ));
+    // Stepping the *dead* shard is a typed error; the rebuilding one works.
+    assert_eq!(
+        array.rebuild_step(1, 4).unwrap_err(),
+        ArrayError::ShardNotRebuilding { shard: 1 }
+    );
+    // Both failed shards serve degraded/salvage reads of retained content.
+    for &lpa in &corpus {
+        let (shard, _) = layout.locate(lpa);
+        if shard != 2 {
+            assert_eq!(array.read_page(lpa).unwrap(), page(lpa as u8));
+        }
+    }
+    // Both recover: finish shard 0, then rebuild shard 1.
+    let shard_pages = layout.shard_pages();
+    assert!(array.rebuild_step(0, shard_pages).unwrap().done);
+    let _ = array
+        .rebuild(1, rssd_shard(8, NandTiming::instant()), None)
+        .unwrap();
+    assert!(array.is_fully_live());
+}
+
+#[test]
+fn rebuilding_replacement_can_fail_again_and_fall_back_to_salvage() {
+    let mut array = rssd_array(2, NandTiming::instant());
+    let corpus: Vec<u64> = (0..16).collect();
+    for &lpa in &corpus {
+        array.write_page(lpa, page(lpa as u8)).unwrap();
+    }
+    for &lpa in &corpus {
+        array.write_page(lpa, page(0xEE)).unwrap();
+    }
+    array.flush().unwrap();
+    let layout = *array.layout();
+
+    let _ = array.fail_shard(0).unwrap();
+    array
+        .begin_rebuild(0, rssd_shard(7, NandTiming::instant()), None)
+        .unwrap();
+    let _ = array.rebuild_step(0, 2).unwrap();
+    // The replacement dies mid-rebuild: back to degraded over the original
+    // salvage — progress lost, retained data not.
+    let report = array.fail_shard(0).unwrap();
+    assert!(
+        report.versions > 0,
+        "original salvage still backs the shard"
+    );
+    assert_eq!(array.shard_status(0), ShardStatus::Degraded);
+    for &lpa in &corpus {
+        if layout.locate(lpa).0 == 0 {
+            assert_eq!(array.read_page(lpa).unwrap(), page(lpa as u8));
+        }
+    }
+    // A second replacement completes.
+    let _ = array
+        .rebuild(0, rssd_shard(9, NandTiming::instant()), None)
+        .unwrap();
+    assert!(array.is_fully_live());
+}
+
+#[test]
+fn enclosure_crash_and_recover_preserves_acked_state_on_every_member() {
+    let mut array = rssd_array(3, NandTiming::instant());
+    for lpa in 0..24u64 {
+        array.write_page(lpa, page(lpa as u8)).unwrap();
+    }
+    for lpa in 0..24u64 {
+        array.write_page(lpa, page(0xEE)).unwrap();
+    }
+    array.flush().unwrap();
+    // Unoffloaded tail on top.
+    array.write_page(0, page(0x77)).unwrap();
+
+    let report = array.crash();
+    assert!(report.pending_records_lost > 0);
+    assert!(matches!(
+        array.write_page(1, page(1)),
+        Err(DeviceError::PowerLoss)
+    ));
+    let recovery = array.recover().unwrap();
+    assert!(recovery.segments_walked > 0);
+    // Every acknowledged write is durable on flash across all members.
+    assert_eq!(array.read_page(0).unwrap(), page(0x77));
+    for lpa in 1..24u64 {
+        assert_eq!(array.read_page(lpa).unwrap(), page(0xEE));
+    }
+    // Offloaded pre-images recoverable again after the index rebuild.
+    assert_eq!(array.recover_page(5).unwrap(), page(5));
 }
 
 #[test]

@@ -63,6 +63,57 @@ struct RemoteVersion {
     record_seq: u64,
 }
 
+/// What a power cut destroyed. The flash contents (every acknowledged host
+/// write) and the remote store survive; everything in controller RAM — the
+/// pending log tail, its retention pins, the read-correlation window and the
+/// remote version index — does not.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
+pub struct CrashReport {
+    /// Log records that had not been offloaded and died with the RAM.
+    pub pending_records_lost: u64,
+    /// Retained pre-images whose only reference was a pending record; their
+    /// pinned flash pages become collectible garbage.
+    pub pending_preimages_lost: u64,
+    /// Evidence-chain length at the moment of the cut (for fork audits: the
+    /// recovered chain resumes strictly below this).
+    pub chain_len_at_crash: u64,
+}
+
+/// Outcome of post-crash recovery: the volatile state rebuilt from the two
+/// durable halves (local flash, remote evidence chain).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
+pub struct CrashRecovery {
+    /// Offloaded segments walked and chain-verified.
+    pub segments_walked: u64,
+    /// Records re-indexed from the remote chain.
+    pub records_indexed: u64,
+    /// Retained page versions re-indexed (recoverable again).
+    pub versions_indexed: u64,
+    /// Evidence-chain sequence the device resumed appending at. Equals the
+    /// durable (offloaded) record count: the lost pending tail is *not*
+    /// resequenced, so the remote store only ever sees one continuation of
+    /// any head — the chain cannot fork.
+    pub resumed_seq: u64,
+}
+
+/// A fault-tolerant read of the operation history: the longest verifiable
+/// prefix of the evidence chain plus the pending tail when it still extends
+/// that prefix. Unlike [`RssdDevice::verified_history`], a gap or tamper
+/// does not discard the trustworthy prefix — it is reported alongside.
+#[derive(Clone, Debug)]
+#[must_use]
+pub struct HistoryAudit {
+    /// Chain-verified records, in chain order.
+    pub records: Vec<LogRecord>,
+    /// `true` when the full history verified end to end and every appended
+    /// record is accounted for.
+    pub verified: bool,
+    /// Description of the first verification failure or detected gap.
+    pub failure: Option<String>,
+}
+
 /// The ransomware-aware SSD: conservative retention + hardware-assisted
 /// logging + NVMe-oE offload + recovery + forensics, behind the plain
 /// [`BlockDevice`] interface.
@@ -94,6 +145,10 @@ pub struct RssdDevice<R: RemoteTarget> {
     read_window_ns: u64,
     latency: LatencyStats,
     stats: OffloadStats,
+    /// Power lost: volatile state dropped, I/O refused until [`Self::recover`].
+    crashed: bool,
+    /// What the most recent crash destroyed (see [`Self::crash`]).
+    last_crash: CrashReport,
 }
 
 impl<R: RemoteTarget> RssdDevice<R> {
@@ -134,8 +189,132 @@ impl<R: RemoteTarget> RssdDevice<R> {
             read_window_ns: Self::READ_WINDOW_NS,
             latency: LatencyStats::new(),
             stats: OffloadStats::default(),
+            crashed: false,
+            last_crash: CrashReport::default(),
             config,
         }
+    }
+
+    /// Simulated power loss. Everything in controller RAM is dropped: the
+    /// pending log tail and its retention pins, the read-correlation window
+    /// and the remote version index. Flash contents — every host write that
+    /// was acknowledged — and the remote store are durable and survive.
+    /// All I/O fails with [`DeviceError::PowerLoss`] until [`Self::recover`]
+    /// runs.
+    ///
+    /// Pre-images referenced only by pending (never-offloaded) records are
+    /// unpinned: with the records gone no recovery path can name them, and a
+    /// real controller's pin table is RAM too. They are *detectably* lost —
+    /// the remote chain head shows exactly where the durable log ends.
+    ///
+    /// Returns the report of the cut that did the damage; crashing an
+    /// already-crashed device destroys nothing further and returns the
+    /// original report (see [`Self::last_crash_report`]).
+    pub fn crash(&mut self) -> CrashReport {
+        let geometry = self.ftl.geometry();
+        let mut preimages = 0u64;
+        for rec in &self.pending {
+            if let Some(idx) = rec.old_page_index {
+                self.ftl.unpin_page(geometry.page_from_index(idx));
+                preimages += 1;
+            }
+        }
+        let report = CrashReport {
+            pending_records_lost: self.pending.len() as u64,
+            pending_preimages_lost: preimages,
+            chain_len_at_crash: self.chain.len(),
+        };
+        self.pending.clear();
+        self.pending_links.clear();
+        self.pending_retained = 0;
+        self.recent_reads.clear();
+        self.remote_index.clear();
+        if !self.crashed {
+            // A second crash() while already down destroys nothing further;
+            // keep the report of the cut that did the damage.
+            self.last_crash = report;
+        }
+        self.crashed = true;
+        self.last_crash
+    }
+
+    /// `true` while the device is down after [`Self::crash`].
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// What the most recent crash destroyed — stable across failed
+    /// [`Self::recover`] attempts (e.g. while the remote is partitioned),
+    /// so a retrying operator still gets honest loss accounting.
+    pub fn last_crash_report(&self) -> CrashReport {
+        self.last_crash
+    }
+
+    /// Post-crash recovery: walks the remote evidence chain (verifying it
+    /// end to end), rebuilds the remote version index, and resumes the
+    /// evidence chain *at the durable head* — the sequence right after the
+    /// last offloaded record. The lost pending tail is never resequenced or
+    /// re-signed, so any verifier (including the remote store's continuity
+    /// check) only ever sees one continuation of any chain head: a crash
+    /// cannot fork the chain, only truncate its volatile tail.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the remote is unreachable, when its chain fails
+    /// verification, or when the store holds fewer segments than the
+    /// device was acknowledged for (a transport that acked and dropped
+    /// offloads, then a crash destroying the only other witness — the
+    /// in-RAM chain) — recovering on top of a tampered or holed store
+    /// would launder the loss into trusted state.
+    pub fn recover(&mut self) -> Result<CrashRecovery, String> {
+        if !self.crashed {
+            return Err("device is powered and running; nothing to recover".to_string());
+        }
+        // The acked-segment counter is the one durable witness that
+        // survives both the drop (it counted the fake ack) and the crash
+        // (telemetry is persisted): a store with fewer segments than the
+        // device was acknowledged for lost offloads in transit.
+        let stored = self.remote.stored_segments().len() as u64;
+        if self.stats.segments_offloaded > stored {
+            return Err(format!(
+                "chain gap: device was acknowledged {} offloaded segments but \
+                 the store holds {stored} — acknowledged offloads were lost in \
+                 transit; refusing to resume over a holed history",
+                self.stats.segments_offloaded
+            ));
+        }
+        let chain_key = self.keys.derive(KeyPurpose::EvidenceChain, 0);
+        let mut index: HashMap<u64, Vec<RemoteVersion>> = HashMap::new();
+        let mut records = 0u64;
+        let mut versions = 0u64;
+        let head = crate::rebuild::walk_verified_segments(
+            &chain_key,
+            &self.session,
+            &mut self.remote,
+            |segment_seq, record| {
+                records += 1;
+                if record.old_data.is_some() {
+                    versions += 1;
+                    index.entry(record.lpa).or_default().push(RemoteVersion {
+                        segment_seq,
+                        invalidated_at_ns: record.at_ns,
+                        record_seq: record.seq,
+                    });
+                }
+            },
+        )?;
+        let segments = self.remote.stored_segments();
+        self.remote_index = index;
+        self.prev_segment_head = head;
+        self.chain = HashChain::resume(&chain_key, head, records);
+        self.next_segment_seq = segments.last().map_or(0, |s| s + 1);
+        self.crashed = false;
+        Ok(CrashRecovery {
+            segments_walked: segments.len() as u64,
+            records_indexed: records,
+            versions_indexed: versions,
+            resumed_seq: records,
+        })
     }
 
     /// Offload-path counters.
@@ -214,13 +393,17 @@ impl<R: RemoteTarget> RssdDevice<R> {
     }
 
     /// The full verified operation history: every offloaded segment plus
-    /// the pending tail, chain-verified end to end.
+    /// the pending tail, chain-verified end to end. Additionally checks
+    /// that every record the device ever appended is accounted for
+    /// (offloaded or pending) — an offload that was acknowledged in transit
+    /// but never reached the store surfaces here as a chain gap instead of
+    /// silently shortening the history.
     ///
     /// # Errors
     ///
     /// Returns an error string describing the first verification failure —
-    /// a non-verifying history means tampering (or remote corruption) and is
-    /// itself forensic signal.
+    /// a non-verifying history means tampering, remote corruption, or lost
+    /// acknowledged offloads, and is itself forensic signal.
     pub fn verified_history(&mut self) -> Result<Vec<LogRecord>, String> {
         let chain_key = self.keys.derive(KeyPurpose::EvidenceChain, 0);
         let mut out = Vec::new();
@@ -228,14 +411,66 @@ impl<R: RemoteTarget> RssdDevice<R> {
             &chain_key,
             &self.session,
             &mut self.remote,
-            |record| out.push(record),
+            |_seq, record| out.push(record),
         )?;
         // Pending tail.
         let inputs: Vec<Vec<u8>> = self.pending.iter().map(|r| r.chain_bytes()).collect();
         HashChain::verify_from(&chain_key, head, &inputs, &self.pending_links)
             .map_err(|e| format!("pending tail: {e}"))?;
+        // The accounting check compares against the in-RAM chain length,
+        // which is stale (it still counts the lost volatile tail) while the
+        // device sits crashed: a crash truncation is a documented loss, not
+        // transit loss, so the check only applies to a running device.
+        let accounted = (out.len() + self.pending.len()) as u64;
+        if !self.crashed && accounted != self.chain.len() {
+            return Err(format!(
+                "chain gap: device appended {} records but only {accounted} are \
+                 accounted for (offloaded + pending) — acknowledged offloads \
+                 were lost in transit",
+                self.chain.len()
+            ));
+        }
         out.extend(self.pending.iter().cloned());
         Ok(out)
+    }
+
+    /// Fault-tolerant history read: the longest chain-verified prefix plus
+    /// the pending tail when it extends that prefix, with the first failure
+    /// (if any) reported instead of discarding the trustworthy records.
+    /// This is the investigator's entry point after a fault — detection can
+    /// still run over the verified prefix while the gap itself is evidence.
+    ///
+    /// Call after [`Self::recover`] when the device has crashed; while
+    /// crashed the accounting check is skipped (the in-RAM chain length is
+    /// stale).
+    pub fn audit_history(&mut self) -> HistoryAudit {
+        let chain_key = self.keys.derive(KeyPurpose::EvidenceChain, 0);
+        let mut records: Vec<LogRecord> = Vec::new();
+        let (head, mut failure) = crate::rebuild::walk_segments_tolerant(
+            &chain_key,
+            &self.session,
+            &mut self.remote,
+            |_seq, record| records.push(record),
+        );
+        if failure.is_none() {
+            let inputs: Vec<Vec<u8>> = self.pending.iter().map(|r| r.chain_bytes()).collect();
+            match HashChain::verify_from(&chain_key, head, &inputs, &self.pending_links) {
+                Ok(()) => records.extend(self.pending.iter().cloned()),
+                Err(e) => failure = Some(format!("pending tail: {e}")),
+            }
+        }
+        if failure.is_none() && !self.crashed && records.len() as u64 != self.chain.len() {
+            failure = Some(format!(
+                "chain gap: device appended {} records but only {} are accounted for",
+                self.chain.len(),
+                records.len()
+            ));
+        }
+        HistoryAudit {
+            verified: failure.is_none(),
+            failure,
+            records,
+        }
     }
 
     /// Recovers the newest retained pre-image of `lpa` that was valid
@@ -455,6 +690,9 @@ impl<R: RemoteTarget> RssdDevice<R> {
         data: Vec<u8>,
         defer_offload: bool,
     ) -> Result<(), DeviceError> {
+        if self.crashed {
+            return Err(DeviceError::PowerLoss);
+        }
         let start = self.ftl.clock().now_ns();
         let entropy_mil = (shannon_entropy(&data) * 1000.0) as u16;
         let read_before = self.read_before(lpa, start);
@@ -498,6 +736,9 @@ impl<R: RemoteTarget> RssdDevice<R> {
     }
 
     fn read_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<Vec<u8>, DeviceError> {
+        if self.crashed {
+            return Err(DeviceError::PowerLoss);
+        }
         let start = self.ftl.clock().now_ns();
         self.recent_reads.insert(lpa, start);
         let out = match self.ftl.read(lpa)? {
@@ -516,6 +757,9 @@ impl<R: RemoteTarget> RssdDevice<R> {
     }
 
     fn trim_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<(), DeviceError> {
+        if self.crashed {
+            return Err(DeviceError::PowerLoss);
+        }
         // Enhanced trim: host semantics preserved (reads return zeroes), but
         // the trimmed version is retained and logged like any overwrite.
         self.ftl.trim(lpa)?;
@@ -609,6 +853,9 @@ impl<R: RemoteTarget> BlockDevice for RssdDevice<R> {
     }
 
     fn flush(&mut self) -> Result<(), DeviceError> {
+        if self.crashed {
+            return Err(DeviceError::PowerLoss);
+        }
         match self.flush_log() {
             Ok(()) => Ok(()),
             // Conservative retention holds the data; flush is best-effort.
@@ -617,6 +864,9 @@ impl<R: RemoteTarget> BlockDevice for RssdDevice<R> {
     }
 
     fn recover_page(&mut self, lpa: u64) -> Option<Vec<u8>> {
+        if self.crashed {
+            return None;
+        }
         self.recover_newest(lpa)
     }
 }
@@ -894,6 +1144,163 @@ mod tests {
         for lpa in 0..4u64 {
             assert_eq!(scalar.recover_page(lpa), batched.recover_page(lpa));
         }
+    }
+
+    #[test]
+    fn crash_refuses_io_until_recover() {
+        let mut d = device();
+        d.write_page(0, page(1)).unwrap();
+        let _ = d.crash();
+        assert!(d.is_crashed());
+        assert!(matches!(
+            d.write_page(0, page(2)),
+            Err(DeviceError::PowerLoss)
+        ));
+        assert!(matches!(d.read_page(0), Err(DeviceError::PowerLoss)));
+        assert!(matches!(d.trim_page(0), Err(DeviceError::PowerLoss)));
+        assert!(matches!(d.flush(), Err(DeviceError::PowerLoss)));
+        assert_eq!(d.recover_page(0), None);
+        let _ = d.recover().unwrap();
+        assert!(!d.is_crashed());
+        assert_eq!(d.read_page(0).unwrap(), page(1), "acked write durable");
+    }
+
+    #[test]
+    fn crashed_device_history_reports_truncation_not_transit_loss() {
+        // While crashed, the in-RAM chain length still counts the lost
+        // volatile tail; the accounting check must not misread that
+        // documented truncation as acknowledged offloads lost in transit.
+        let mut d = device();
+        for i in 0..20u64 {
+            d.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        d.flush_log().unwrap();
+        let offloaded = d.chain_len();
+        d.write_page(0, page(0xEE)).unwrap(); // pending tail, will be lost
+        let _ = d.crash();
+        let history = d.verified_history().expect("no false chain-gap signal");
+        assert_eq!(history.len() as u64, offloaded);
+        let audit = d.audit_history();
+        assert!(audit.verified, "{:?}", audit.failure);
+        // Once recovered, the accounting check is live again and passes.
+        let _ = d.recover().unwrap();
+        assert!(d.verified_history().is_ok());
+    }
+
+    #[test]
+    fn recover_requires_a_crash() {
+        let mut d = device();
+        assert!(d.recover().is_err());
+    }
+
+    /// A transport that acknowledges and then destroys segments — the
+    /// Byzantine worst case. When a crash then destroys the in-RAM chain
+    /// (the other witness to the dropped records), the acked-segment
+    /// counter is what must keep the loss from being silently repaired.
+    struct AckAndDrop {
+        inner: LoopbackTarget,
+        dropping: bool,
+    }
+
+    impl RemoteTarget for AckAndDrop {
+        fn store_segment(
+            &mut self,
+            envelope: SegmentEnvelope,
+            now_ns: u64,
+        ) -> Result<crate::remote_target::StoreAck, crate::remote_target::RemoteError> {
+            if self.dropping {
+                Ok(crate::remote_target::StoreAck {
+                    segment_seq: envelope.segment_seq,
+                    durable_at_ns: now_ns,
+                })
+            } else {
+                self.inner.store_segment(envelope, now_ns)
+            }
+        }
+
+        fn fetch_segment(
+            &mut self,
+            segment_seq: u64,
+        ) -> Result<SegmentEnvelope, crate::remote_target::RemoteError> {
+            self.inner.fetch_segment(segment_seq)
+        }
+
+        fn stored_segments(&self) -> Vec<u64> {
+            self.inner.stored_segments()
+        }
+    }
+
+    #[test]
+    fn crash_after_dropped_offloads_refuses_silent_chain_repair() {
+        let mut d = RssdDevice::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+            RssdConfig {
+                segment_pages: 4,
+                ..RssdConfig::default()
+            },
+            AckAndDrop {
+                inner: LoopbackTarget::new(),
+                dropping: false,
+            },
+        );
+        for i in 0..16u64 {
+            d.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        d.flush_log().unwrap();
+        // The transport turns Byzantine: acks and destroys.
+        d.remote_mut().dropping = true;
+        for i in 0..16u64 {
+            d.write_page(i % 4, page(0x80 | i as u8)).unwrap();
+        }
+        d.flush_log().unwrap();
+        let acked = d.offload_stats().segments_offloaded;
+        assert!(acked as usize > d.remote().stored_segments().len());
+        // Power cut: the in-RAM chain — the only other witness to the
+        // dropped records — dies. Recovery must refuse to resume over the
+        // clean-looking prefix rather than silently repair the chain.
+        let _ = d.crash();
+        let err = d.recover().unwrap_err();
+        assert!(err.contains("lost in transit"), "{err}");
+        assert!(d.is_crashed(), "the device stays down by policy");
+    }
+
+    #[test]
+    fn crash_loses_pending_tail_but_not_offloaded_evidence() {
+        let mut d = device();
+        for i in 0..40u64 {
+            d.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        d.flush_log().unwrap();
+        let durable_len = d.chain_len() - d.pending_records() as u64;
+        // Build a fresh pending tail that will die with the RAM.
+        d.write_page(0, page(0xAA)).unwrap();
+        d.write_page(0, page(0xBB)).unwrap();
+        assert!(d.pending_records() > 0);
+        let report = d.crash();
+        assert!(report.pending_records_lost > 0);
+        assert_eq!(
+            report.chain_len_at_crash,
+            durable_len + report.pending_records_lost
+        );
+
+        let recovery = d.recover().unwrap();
+        assert_eq!(recovery.resumed_seq, recovery.records_indexed);
+        assert_eq!(d.chain_len(), recovery.records_indexed);
+        // The chain resumed below the crashed head: no fork, only a
+        // truncated volatile tail. New appends verify end to end.
+        d.write_page(2, page(0xCC)).unwrap();
+        let history = d.verified_history().unwrap();
+        assert_eq!(history.len() as u64, d.chain_len());
+        for w in history.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        // Offloaded pre-images are recoverable again (index rebuilt). The
+        // newest *durable* retained version of lpa 0 is the i=32 one (the
+        // i=36 overwrite shipped it before the flush); the 0xAA/0xBB
+        // pre-images were pending-only and died with the RAM.
+        assert_eq!(d.recover_page(0).unwrap(), page(32));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod remote_target;
 
 pub use analysis::{AnalysisReport, AttackClass, PostAttackAnalyzer};
 pub use config::RssdConfig;
-pub use device::{OffloadStats, RssdDevice};
+pub use device::{CrashRecovery, CrashReport, HistoryAudit, OffloadStats, RssdDevice};
 pub use logrec::{LogOp, LogRecord, Segment, SegmentEnvelope, WireError};
 pub use rebuild::{HarvestReport, RebuildImage};
 pub use recovery::{RecoveryEngine, RecoveryReport};

@@ -33,36 +33,65 @@ use rssd_net::SecureSession;
 use std::collections::HashMap;
 
 /// Walks every segment stored on `remote` in chain order, verifying
-/// continuity and per-record HMAC links, and hands each decoded record to
-/// `sink`. Returns the verified chain head. Shared by
+/// continuity and per-record HMAC links, and hands each decoded record
+/// (with the sequence of the segment that carried it) to `sink`. Returns
+/// the verified chain head. Shared by
 /// [`RssdDevice::verified_history`](crate::RssdDevice::verified_history)
-/// (which appends its pending tail afterwards) and
+/// (which appends its pending tail afterwards),
+/// [`RssdDevice::recover`](crate::RssdDevice::recover) (which rebuilds the
+/// crashed controller's remote version index) and
 /// [`RebuildImage::harvest`] (which has no device left to ask).
 pub(crate) fn walk_verified_segments<R: RemoteTarget>(
     chain_key: &[u8],
     session: &SecureSession,
     remote: &mut R,
-    mut sink: impl FnMut(LogRecord),
+    sink: impl FnMut(u64, LogRecord),
 ) -> Result<Digest, String> {
+    match walk_segments_tolerant(chain_key, session, remote, sink) {
+        (head, None) => Ok(head),
+        (_, Some(failure)) => Err(failure),
+    }
+}
+
+/// The fault-tolerant walk underneath [`walk_verified_segments`]: stops at
+/// the first verification failure instead of erroring, returning the head
+/// of the verified prefix and the failure (if any). Records are only ever
+/// delivered to `sink` from fully verified segments, so everything sunk is
+/// trustworthy even when the walk stops early. Used directly by
+/// [`RssdDevice::audit_history`](crate::RssdDevice::audit_history), which
+/// must keep the verified prefix as evidence while reporting the gap.
+pub(crate) fn walk_segments_tolerant<R: RemoteTarget>(
+    chain_key: &[u8],
+    session: &SecureSession,
+    remote: &mut R,
+    mut sink: impl FnMut(u64, LogRecord),
+) -> (Digest, Option<String>) {
     let mut head = Digest::ZERO;
     for seq in remote.stored_segments() {
-        let envelope = remote
-            .fetch_segment(seq)
-            .map_err(|e| format!("fetch segment {seq}: {e}"))?;
-        let segment =
-            open_envelope(session, &envelope).map_err(|e| format!("open segment {seq}: {e}"))?;
+        let envelope = match remote.fetch_segment(seq) {
+            Ok(envelope) => envelope,
+            Err(e) => return (head, Some(format!("fetch segment {seq}: {e}"))),
+        };
+        let segment = match open_envelope(session, &envelope) {
+            Ok(segment) => segment,
+            Err(e) => return (head, Some(format!("open segment {seq}: {e}"))),
+        };
         if envelope.prev_chain_head != head {
-            return Err(format!("segment {seq} does not extend the chain"));
+            return (
+                head,
+                Some(format!("segment {seq} does not extend the chain")),
+            );
         }
         let inputs: Vec<Vec<u8>> = segment.records.iter().map(|r| r.chain_bytes()).collect();
-        HashChain::verify_from(chain_key, head, &inputs, &segment.links)
-            .map_err(|e| format!("segment {seq}: {e}"))?;
+        if let Err(e) = HashChain::verify_from(chain_key, head, &inputs, &segment.links) {
+            return (head, Some(format!("segment {seq}: {e}")));
+        }
         head = envelope.chain_head;
         for record in segment.records {
-            sink(record);
+            sink(seq, record);
         }
     }
-    Ok(head)
+    (head, None)
 }
 
 /// One retained page version recovered from the remote store, keyed by the
@@ -135,7 +164,7 @@ impl RebuildImage {
         // (Offloaded history is a prefix of the log, so the creating write
         // is always in the prefix when its invalidation is.)
         let mut content_written_at: HashMap<u64, u64> = HashMap::new();
-        walk_verified_segments(&chain_key, &session, remote, |record| {
+        walk_verified_segments(&chain_key, &session, remote, |_seq, record| {
             report.records += 1;
             if let Some(data) = &record.old_data {
                 report.versions += 1;

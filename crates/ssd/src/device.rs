@@ -28,6 +28,12 @@ pub enum DeviceError {
     /// The device could not make forward progress (no reclaimable space and
     /// the retention policy refuses to release anything).
     Stalled,
+    /// Power was lost before the command executed. The command was never
+    /// acknowledged, so it is *detectably* lost — the host must treat it as
+    /// never having happened and reissue after the device recovers (see
+    /// `RssdDevice::crash`/`recover` in `rssd-core` and the `rssd-faults`
+    /// injector).
+    PowerLoss,
 }
 
 impl std::fmt::Display for DeviceError {
@@ -44,6 +50,9 @@ impl std::fmt::Display for DeviceError {
                 )
             }
             DeviceError::Stalled => write!(f, "device stalled: retention policy holds all space"),
+            DeviceError::PowerLoss => {
+                write!(f, "power lost before the command executed")
+            }
         }
     }
 }

@@ -82,6 +82,15 @@ impl ReplayOutcome {
             }
         }
     }
+
+    /// Index into the replayed record stream at which to resume after an
+    /// abort: the number of records issued so far. The aborting record
+    /// counts as issued — its unexecuted pages were never acknowledged, so
+    /// a resuming caller (e.g. a host riding out a power cut) moves on to
+    /// the next record rather than re-issuing a partially-applied one.
+    pub fn resume_index(&self) -> usize {
+        self.stats().records as usize
+    }
 }
 
 /// Book-keeping for one (possibly fanned-out) replay: maps in-flight
@@ -587,6 +596,22 @@ mod tests {
             assert!(controller.submission_queue(queue).is_empty());
             assert!(controller.completion_queue(queue).is_empty());
         }
+    }
+
+    #[test]
+    fn resume_index_points_past_the_aborting_record() {
+        let mut controller = NvmeController::new(FailingReads(device()));
+        let queue = controller.create_queue_pair(1);
+        let records = vec![
+            IoRecord::write(0, 0, PayloadKind::Text, 1),
+            IoRecord::read(10, 0), // aborts here, counted as issued
+            IoRecord::write(20, 1, PayloadKind::Text, 2),
+        ];
+        let outcome = replay_queued(&mut controller, queue, records.clone());
+        assert!(matches!(outcome, ReplayOutcome::Aborted { .. }));
+        assert_eq!(outcome.resume_index(), 2);
+        // Resuming from the index replays exactly the untouched tail.
+        assert_eq!(records.len() - outcome.resume_index(), 1);
     }
 
     #[test]

@@ -6,10 +6,12 @@
 
 pub use rssd_array as array;
 pub use rssd_attacks as attacks;
+pub use rssd_bench as bench_support;
 pub use rssd_compress as compress;
 pub use rssd_core as core;
 pub use rssd_crypto as crypto;
 pub use rssd_detect as detect;
+pub use rssd_faults as faults;
 pub use rssd_flash as flash;
 pub use rssd_ftl as ftl;
 pub use rssd_net as net;

@@ -80,3 +80,19 @@ fn facade_reexports_reach_every_member_crate() {
     let _ = rssd_repro::ssd::RetentionMode::Compressed;
     let _ = rssd_repro::trace::WorkloadBuilder::new(64);
 }
+
+#[test]
+fn facade_reexports_the_fault_layer() {
+    use rssd_repro::faults::{FaultInjector, FaultSchedule, FaultyRemote, PermissiveTarget};
+
+    let device: RssdDevice<FaultyRemote<PermissiveTarget>> = rssd_repro::faults::scenario_member(1);
+    let mut injector = FaultInjector::new(device, &FaultSchedule::power_cut(1));
+    let page = vec![0x33u8; injector.page_size()];
+    injector
+        .write_page(0, page)
+        .expect("op 0 executes before the scheduled cut");
+    assert!(
+        injector.write_page(1, vec![0x44u8; 4096]).is_err(),
+        "facade-built injector must fire its schedule"
+    );
+}
