@@ -347,34 +347,39 @@ impl<D: BlockDevice> RssdArray<D> {
     }
 
     /// Executes already-translated commands on one member, fast-forwarding
-    /// it to `start_ns` first. Returns the results and the member's end
-    /// time (`start_ns` for salvage-served commands, which model a remote
-    /// round trip outside the flash timeline).
+    /// it to `start_ns` first. Returns per-command `(result,
+    /// completion_time)` pairs — member completion times are on the shared
+    /// timeline because the member was fast-forwarded — and the member's
+    /// end time (`start_ns` for salvage-served commands, which model a
+    /// remote round trip outside the flash timeline).
     fn execute_local(
         state: &mut ShardState<D>,
         shard: usize,
         commands: Vec<IoCommand>,
         page_size: usize,
         start_ns: u64,
-    ) -> (Vec<CommandResult>, u64) {
+    ) -> (Vec<(CommandResult, u64)>, u64) {
         match state {
             ShardState::Live(device) => {
                 device.clock().advance_to(start_ns);
-                let results = device.submit_batch(commands);
+                let results = device.submit_batch_timed(commands);
                 let end = device.clock().now_ns();
                 (results, end)
             }
             ShardState::Degraded(salvage) => {
                 let results = commands
                     .into_iter()
-                    .map(|command| match command {
-                        IoCommand::Read { lpa } => {
-                            Ok(CommandOutcome::Read(salvage.read(lpa, page_size)))
-                        }
-                        IoCommand::Flush => Ok(CommandOutcome::Flushed),
-                        IoCommand::Write { .. } | IoCommand::Trim { .. } => {
-                            Err(DeviceError::ShardFailed { shard })
-                        }
+                    .map(|command| {
+                        let result = match command {
+                            IoCommand::Read { lpa } => {
+                                Ok(CommandOutcome::Read(salvage.read(lpa, page_size)))
+                            }
+                            IoCommand::Flush => Ok(CommandOutcome::Flushed),
+                            IoCommand::Write { .. } | IoCommand::Trim { .. } => {
+                                Err(DeviceError::ShardFailed { shard })
+                            }
+                        };
+                        (result, start_ns)
                     })
                     .collect();
                 (results, start_ns)
@@ -393,7 +398,8 @@ impl<D: BlockDevice> RssdArray<D> {
                 // which is immutable and disjoint from the online region
                 // (writes beyond `copied` are refused), so extracting them
                 // does not reorder anything observable.
-                let mut results: Vec<Option<CommandResult>> = Vec::with_capacity(commands.len());
+                let mut results: Vec<Option<(CommandResult, u64)>> =
+                    Vec::with_capacity(commands.len());
                 let mut online_slots = Vec::new();
                 let mut online_commands = Vec::new();
                 for (slot, command) in commands.into_iter().enumerate() {
@@ -406,16 +412,17 @@ impl<D: BlockDevice> RssdArray<D> {
                         online_slots.push(slot);
                         online_commands.push(command);
                     } else {
-                        results.push(Some(match command {
+                        let result = match command {
                             IoCommand::Read { lpa } => {
                                 Ok(CommandOutcome::Read(salvage.read(lpa, page_size)))
                             }
                             _ => Err(DeviceError::ShardFailed { shard }),
-                        }));
+                        };
+                        results.push(Some((result, start_ns)));
                     }
                 }
                 if !online_commands.is_empty() {
-                    let online_results = device.submit_batch(online_commands);
+                    let online_results = device.submit_batch_timed(online_commands);
                     debug_assert_eq!(online_results.len(), online_slots.len());
                     for (slot, result) in online_slots.into_iter().zip(online_results) {
                         results[slot] = Some(result);
@@ -431,13 +438,15 @@ impl<D: BlockDevice> RssdArray<D> {
         }
     }
 
-    /// Dispatches the per-shard buckets accumulated by `submit_batch`
+    /// Dispatches the per-shard buckets accumulated by `submit_batch_timed`
     /// "in parallel": every participating member starts at the same array
-    /// time and the array clock advances to the slowest member's end.
+    /// time, per-command completion times are the members' own (so
+    /// commands complete out of order across shards), and the array clock
+    /// advances to the slowest member's end.
     fn dispatch(
         &mut self,
         pending: &mut [Vec<(usize, IoCommand)>],
-        results: &mut [Option<CommandResult>],
+        results: &mut [Option<(CommandResult, u64)>],
     ) {
         let start = self.clock.now_ns();
         let page_size = self.page_size;
@@ -511,7 +520,8 @@ impl<D: BlockDevice> BlockDevice for RssdArray<D> {
             start,
         );
         self.clock.advance_to(end);
-        results.pop().expect("one command, one result").map(|_| ())
+        let (result, _) = results.pop().expect("one command, one result");
+        result.map(|_| ())
     }
 
     fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
@@ -526,7 +536,8 @@ impl<D: BlockDevice> BlockDevice for RssdArray<D> {
             start,
         );
         self.clock.advance_to(end);
-        match results.pop().expect("one command, one result")? {
+        let (result, _) = results.pop().expect("one command, one result");
+        match result? {
             CommandOutcome::Read(data) => Ok(data),
             other => unreachable!("read completed as {other:?}"),
         }
@@ -544,7 +555,8 @@ impl<D: BlockDevice> BlockDevice for RssdArray<D> {
             start,
         );
         self.clock.advance_to(end);
-        results.pop().expect("one command, one result").map(|_| ())
+        let (result, _) = results.pop().expect("one command, one result");
+        result.map(|_| ())
     }
 
     fn flush(&mut self) -> Result<(), DeviceError> {
@@ -571,23 +583,26 @@ impl<D: BlockDevice> BlockDevice for RssdArray<D> {
 
     /// Splits the batch per shard (preserving per-shard command order) and
     /// dispatches the sub-batches through each member's native
-    /// `submit_batch`, so member-level batching amortizations still apply.
+    /// `submit_batch_timed`, so member-level pipelining and batching
+    /// amortizations still apply; completion times are the members' own,
+    /// so commands complete out of order across (and within) shards.
     /// `Flush` is a barrier: buckets accumulated so far are dispatched,
     /// then every member flushes, then splitting resumes.
-    fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
+    fn submit_batch_timed(&mut self, commands: Vec<IoCommand>) -> Vec<(CommandResult, u64)> {
         let total = commands.len();
-        let mut results: Vec<Option<CommandResult>> = (0..total).map(|_| None).collect();
+        let mut results: Vec<Option<(CommandResult, u64)>> = (0..total).map(|_| None).collect();
         let mut pending: Vec<Vec<(usize, IoCommand)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (slot, command) in commands.into_iter().enumerate() {
             match command.lpa() {
                 None => {
                     self.dispatch(&mut pending, &mut results);
-                    results[slot] = Some(self.flush().map(|()| CommandOutcome::Flushed));
+                    let flushed = self.flush().map(|()| CommandOutcome::Flushed);
+                    results[slot] = Some((flushed, self.clock.now_ns()));
                 }
                 Some(lpa) => {
                     if let Err(e) = self.check_range(lpa) {
-                        results[slot] = Some(Err(e));
+                        results[slot] = Some((Err(e), self.clock.now_ns()));
                         continue;
                     }
                     let (shard, local) = self.layout.locate(lpa);

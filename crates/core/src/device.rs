@@ -598,7 +598,10 @@ impl<R: RemoteTarget> RssdDevice<R> {
         if self.pending.is_empty() {
             return Ok(());
         }
-        // Attach retained contents via background reads.
+        // Attach retained contents via background reads. These dispatch
+        // onto the unit pipelines — the offload engine genuinely occupies
+        // planes and channels, which is RSSD's real (small, bounded)
+        // foreground overhead — but nothing blocks on them.
         let geometry = self.ftl.geometry();
         let mut retained_pages = 0u64;
         for rec in &mut self.pending {
@@ -606,7 +609,7 @@ impl<R: RemoteTarget> RssdDevice<R> {
                 let ppa = geometry.page_from_index(idx);
                 let (data, _) = self
                     .ftl
-                    .read_physical_background(ppa)
+                    .read_physical_offload(ppa)
                     .expect("pinned page readable");
                 rec.old_data = Some(data);
                 retained_pages += 1;
@@ -679,17 +682,21 @@ impl<R: RemoteTarget> RssdDevice<R> {
             .is_some_and(|&t| now.saturating_sub(t) <= self.read_window_ns)
     }
 
-    /// Write path shared by the scalar and batched interfaces. With
-    /// `defer_offload` the background offload-threshold check is skipped so
-    /// a batch can coalesce it into one check (the sync-offload
-    /// backpressure loop still runs — correctness never waits for a batch
-    /// boundary).
+    /// Write path shared by the scalar and batched interfaces, returning
+    /// the flash completion time. With `defer_offload` the background
+    /// offload-threshold check is skipped so a batch can coalesce it into
+    /// one check (the sync-offload backpressure loop still runs —
+    /// correctness never waits for a batch boundary). With `block` the
+    /// clock advances to the completion before the log record is stamped —
+    /// the scalar semantics; the batched path leaves the clock still and
+    /// dispatches everything from the batch's start time.
     fn write_page_inner(
         &mut self,
         lpa: u64,
         data: Vec<u8>,
         defer_offload: bool,
-    ) -> Result<(), DeviceError> {
+        block: bool,
+    ) -> Result<u64, DeviceError> {
         if self.crashed {
             return Err(DeviceError::PowerLoss);
         }
@@ -698,9 +705,9 @@ impl<R: RemoteTarget> RssdDevice<R> {
         let read_before = self.read_before(lpa, start);
 
         let mut sync_tried = 0u32;
-        loop {
-            match self.ftl.write(lpa, data.clone()) {
-                Ok(()) => break,
+        let ticket = loop {
+            match self.ftl.write_async(lpa, data.clone()) {
+                Ok(ticket) => break ticket,
                 Err(FtlError::DeviceFull) if sync_tried < 4 => {
                     // Backpressure: synchronously offload pinned data, then
                     // retry. RSSD never *drops* retained data — if the remote
@@ -714,6 +721,9 @@ impl<R: RemoteTarget> RssdDevice<R> {
                 Err(FtlError::DeviceFull) => return Err(DeviceError::Stalled),
                 Err(e) => return Err(e.into()),
             }
+        };
+        if block {
+            self.ftl.clock().advance_to(ticket.done_ns);
         }
 
         let had_old = {
@@ -730,18 +740,26 @@ impl<R: RemoteTarget> RssdDevice<R> {
             // Background offload: failures are tolerated (data stays pinned).
             let _ = self.offload_segment();
         }
-        let end = self.ftl.clock().now_ns();
-        self.latency.record(end - start);
-        Ok(())
+        self.latency.record(ticket.done_ns.saturating_sub(start));
+        Ok(ticket.done_ns)
     }
 
-    fn read_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<Vec<u8>, DeviceError> {
+    fn read_page_inner(
+        &mut self,
+        lpa: u64,
+        defer_offload: bool,
+        block: bool,
+    ) -> Result<(Vec<u8>, u64), DeviceError> {
         if self.crashed {
             return Err(DeviceError::PowerLoss);
         }
         let start = self.ftl.clock().now_ns();
         self.recent_reads.insert(lpa, start);
-        let out = match self.ftl.read(lpa)? {
+        let (data, ticket) = self.ftl.read_async(lpa)?;
+        if block {
+            self.ftl.clock().advance_to(ticket.done_ns);
+        }
+        let out = match data {
             Some(data) => data,
             None => vec![0u8; self.page_size()],
         };
@@ -751,23 +769,23 @@ impl<R: RemoteTarget> RssdDevice<R> {
                 let _ = self.offload_segment();
             }
         }
-        let end = self.ftl.clock().now_ns();
-        self.latency.record(end - start);
-        Ok(out)
+        self.latency.record(ticket.done_ns.saturating_sub(start));
+        Ok((out, ticket.done_ns))
     }
 
-    fn trim_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<(), DeviceError> {
+    fn trim_page_inner(&mut self, lpa: u64, defer_offload: bool) -> Result<u64, DeviceError> {
         if self.crashed {
             return Err(DeviceError::PowerLoss);
         }
         // Enhanced trim: host semantics preserved (reads return zeroes), but
         // the trimmed version is retained and logged like any overwrite.
+        // Pure mapping-table work: no flash op, no simulated time.
         self.ftl.trim(lpa)?;
         self.absorb_stale_events(0, false);
         if !defer_offload && self.should_offload() {
             let _ = self.offload_segment();
         }
-        Ok(())
+        Ok(self.ftl.clock().now_ns())
     }
 }
 
@@ -805,43 +823,62 @@ impl<R: RemoteTarget> BlockDevice for RssdDevice<R> {
     }
 
     fn write_page(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), DeviceError> {
-        self.write_page_inner(lpa, data, false)
+        self.write_page_inner(lpa, data, false, true).map(|_| ())
     }
 
     fn read_page(&mut self, lpa: u64) -> Result<Vec<u8>, DeviceError> {
-        self.read_page_inner(lpa, false)
+        self.read_page_inner(lpa, false, true).map(|(data, _)| data)
     }
 
     fn trim_page(&mut self, lpa: u64) -> Result<(), DeviceError> {
-        self.trim_page_inner(lpa, false)
+        self.trim_page_inner(lpa, false).map(|_| ())
     }
 
     /// Native batched entry point: executes the commands in order with the
     /// same logging, retention and backpressure semantics as the scalar
-    /// methods, but amortizes the background offload machinery — instead of
-    /// testing the offload thresholds (and potentially sealing, compressing
-    /// and shipping a segment) after every command, the whole batch is
-    /// covered by a single threshold check and at most one coalesced
-    /// segment flush. Synchronous backpressure offloads (a full device mid
-    /// batch) still happen immediately; only the *background* flush is
-    /// deferred, so host-visible state — contents, retained versions, the
-    /// evidence chain — is identical to the scalar loop.
-    fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
+    /// methods, but pipelined and amortized:
+    ///
+    /// * every flash operation is *dispatched* onto the device's unit
+    ///   pipelines (writes stripe across channels, reads ride the units
+    ///   their pages live on), completion times come back per command and
+    ///   out of order, and the clock advances once — to the batch's latest
+    ///   completion — when the batch returns;
+    /// * instead of testing the offload thresholds (and potentially
+    ///   sealing, compressing and shipping a segment) after every command,
+    ///   the whole batch is covered by a single threshold check and at most
+    ///   one coalesced segment flush. Synchronous backpressure offloads (a
+    ///   full device mid batch) still happen immediately; only the
+    ///   *background* flush is deferred.
+    ///
+    /// Host-visible state — contents, retained versions, the evidence
+    /// chain — is identical to the scalar loop; only timing differs.
+    fn submit_batch_timed(&mut self, commands: Vec<IoCommand>) -> Vec<(CommandResult, u64)> {
         let mut results = Vec::with_capacity(commands.len());
+        let mut horizon = self.ftl.clock().now_ns();
         for command in commands {
-            let result = match command {
-                IoCommand::Read { lpa } => {
-                    self.read_page_inner(lpa, true).map(CommandOutcome::Read)
+            let dispatched = self.ftl.clock().now_ns();
+            let (result, done) = match command {
+                IoCommand::Read { lpa } => match self.read_page_inner(lpa, true, false) {
+                    Ok((data, done)) => (Ok(CommandOutcome::Read(data)), done),
+                    Err(e) => (Err(e), dispatched),
+                },
+                IoCommand::Write { lpa, data } => {
+                    match self.write_page_inner(lpa, data, true, false) {
+                        Ok(done) => (Ok(CommandOutcome::Written), done),
+                        Err(e) => (Err(e), dispatched),
+                    }
                 }
-                IoCommand::Write { lpa, data } => self
-                    .write_page_inner(lpa, data, true)
-                    .map(|()| CommandOutcome::Written),
-                IoCommand::Trim { lpa } => self
-                    .trim_page_inner(lpa, true)
-                    .map(|()| CommandOutcome::Trimmed),
-                IoCommand::Flush => self.flush().map(|()| CommandOutcome::Flushed),
+                IoCommand::Trim { lpa } => match self.trim_page_inner(lpa, true) {
+                    Ok(done) => (Ok(CommandOutcome::Trimmed), done),
+                    Err(e) => (Err(e), dispatched),
+                },
+                IoCommand::Flush => match self.flush() {
+                    Ok(()) => (Ok(CommandOutcome::Flushed), self.ftl.clock().now_ns()),
+                    Err(e) => (Err(e), dispatched),
+                },
             };
-            results.push(result);
+            horizon = horizon.max(done);
+            results.push((result, done));
         }
         if self.should_offload() {
             // One coalesced background offload for the whole batch
@@ -849,6 +886,7 @@ impl<R: RemoteTarget> BlockDevice for RssdDevice<R> {
             // segment, so one call settles any threshold crossed above).
             let _ = self.offload_segment();
         }
+        self.ftl.clock().advance_to(horizon);
         results
     }
 

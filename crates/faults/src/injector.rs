@@ -231,13 +231,14 @@ impl<D: FaultTarget> BlockDevice for FaultInjector<D> {
         result
     }
 
-    /// Forwards the batch through the wrapped device's native batched path,
-    /// chunked at event boundaries so mid-batch events fire at their exact
-    /// op. A power cut mid-batch tears it: the executed prefix persists,
-    /// the rest completes with `PowerLoss`.
-    fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
+    /// Forwards the batch through the wrapped device's native (pipelined)
+    /// batched path, chunked at event boundaries so mid-batch events fire
+    /// at their exact op. A power cut mid-batch tears it: the executed
+    /// prefix persists (with its real completion times), the rest
+    /// completes with `PowerLoss` at the time of the cut.
+    fn submit_batch_timed(&mut self, commands: Vec<IoCommand>) -> Vec<(CommandResult, u64)> {
         let total = commands.len();
-        let mut results: Vec<CommandResult> = Vec::with_capacity(total);
+        let mut results: Vec<(CommandResult, u64)> = Vec::with_capacity(total);
         let mut rest = commands;
         while !rest.is_empty() {
             if self.powered_off || self.fire_due_events() {
@@ -249,7 +250,11 @@ impl<D: FaultTarget> BlockDevice for FaultInjector<D> {
                         at_op: self.ops_executed,
                     });
                 }
-                results.extend(rest.drain(..).map(|_| Err(DeviceError::PowerLoss)));
+                let cut_at = self.inner.clock().now_ns();
+                results.extend(
+                    rest.drain(..)
+                        .map(|_| (Err(DeviceError::PowerLoss), cut_at)),
+                );
                 break;
             }
             let chunk_len = match self.events.get(self.next_event) {
@@ -258,7 +263,7 @@ impl<D: FaultTarget> BlockDevice for FaultInjector<D> {
             };
             debug_assert!(chunk_len > 0, "due events were fired above");
             let chunk: Vec<IoCommand> = rest.drain(..chunk_len).collect();
-            let chunk_results = self.inner.submit_batch(chunk);
+            let chunk_results = self.inner.submit_batch_timed(chunk);
             self.ops_executed += chunk_results.len() as u64;
             results.extend(chunk_results);
         }

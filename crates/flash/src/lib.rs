@@ -14,7 +14,10 @@
 //!   logical address, timestamp and sequence number — the raw material of
 //!   RSSD's hardware-assisted log.
 //! * A **timing model** (read/program/erase latencies, per-channel bus
-//!   transfer) with channel-level parallelism, driving the simulated clock.
+//!   transfer) with genuine device-internal parallelism: per-channel bus
+//!   and per-plane cell pipelines, async dispatch (`*_async` returning
+//!   [`OpTicket`]s), and a clock that only advances when a caller blocks
+//!   on a completion.
 //!
 //! # Examples
 //!
@@ -41,4 +44,4 @@ pub use clock::SimClock;
 pub use geometry::{FlashGeometry, Ppa};
 pub use nand::{BlockState, NandArray, NandError, PageOob, PageState};
 pub use stats::NandStats;
-pub use timing::NandTiming;
+pub use timing::{NandTiming, OpTicket};

@@ -3,7 +3,7 @@
 use crate::clock::SimClock;
 use crate::geometry::{FlashGeometry, Ppa};
 use crate::stats::NandStats;
-use crate::timing::{ChannelSchedule, NandTiming};
+use crate::timing::{NandTiming, OpTicket, UnitPipelines};
 use serde::{Deserialize, Serialize};
 
 /// Per-page out-of-band metadata, written atomically with the page data.
@@ -119,15 +119,24 @@ impl Block {
 /// The simulated NAND flash array.
 ///
 /// Enforces the physical constraints (erase-before-program, sequential
-/// in-block programming, block-granularity erase, wear-out) and accounts
-/// simulated time on the shared [`SimClock`].
+/// in-block programming, block-granularity erase, wear-out) and schedules
+/// simulated time on the per-channel/per-plane unit pipelines (see
+/// [`crate::timing`]).
+///
+/// Every operation has two forms: the `*_async` form *dispatches* it — the
+/// state change commits immediately, the returned [`OpTicket`] says when
+/// the hardware would complete it, and the shared [`SimClock`] does **not**
+/// move — and the scalar form, which dispatches and then blocks (advances
+/// the clock to the ticket). Batched device paths use the async forms so
+/// independent channels, chips and planes overlap; scalar host paths keep
+/// the historical one-op-at-a-time timing.
 #[derive(Clone, Debug)]
 pub struct NandArray {
     geometry: FlashGeometry,
     timing: NandTiming,
     clock: SimClock,
     blocks: Vec<Block>,
-    schedule: ChannelSchedule,
+    pipelines: UnitPipelines,
     stats: NandStats,
     seq_counter: u64,
     max_pe_cycles: u32,
@@ -152,8 +161,12 @@ impl NandArray {
             timing,
             clock: clock.clone(),
             blocks,
-            schedule: ChannelSchedule::new(geometry.channels),
-            stats: NandStats::default(),
+            pipelines: UnitPipelines::new(
+                geometry.channels,
+                geometry.chips_per_channel,
+                geometry.planes_per_chip,
+            ),
+            stats: NandStats::for_channels(geometry.channels),
             seq_counter: 0,
             max_pe_cycles: Self::DEFAULT_MAX_PE_CYCLES,
         }
@@ -214,16 +227,53 @@ impl NandArray {
         })
     }
 
-    /// Programs `data` + `oob` into the page at `ppa`, advancing simulated
-    /// time on the page's channel. Returns the device-global sequence number
-    /// assigned to this program.
+    /// Programs `data` + `oob` into the page at `ppa`, blocking (the clock
+    /// advances to the completion). Returns the device-global sequence
+    /// number assigned to this program.
     ///
     /// # Errors
     ///
     /// Fails if the address is out of range, the payload is the wrong size,
     /// the block is bad, the page is already programmed, or programming is
     /// not at the block's write pointer.
-    pub fn program(&mut self, ppa: Ppa, data: Vec<u8>, mut oob: PageOob) -> Result<u64, NandError> {
+    pub fn program(&mut self, ppa: Ppa, data: Vec<u8>, oob: PageOob) -> Result<u64, NandError> {
+        let (seq, ticket) = self.program_async(ppa, data, oob)?;
+        self.clock.advance_to(ticket.done_ns);
+        Ok(seq)
+    }
+
+    /// Dispatches a program without advancing the clock: the page state
+    /// commits immediately, the ticket says when the hardware completes
+    /// (transfer staged on the channel bus, cell phase on the plane —
+    /// sibling planes overlap, multi-plane style).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::program`].
+    pub fn program_async(
+        &mut self,
+        ppa: Ppa,
+        data: Vec<u8>,
+        oob: PageOob,
+    ) -> Result<(u64, OpTicket), NandError> {
+        let now = self.clock.now_ns();
+        self.program_async_after(ppa, data, oob, now)
+    }
+
+    /// Like [`Self::program_async`], but the operation may not start before
+    /// `not_before_ns` — the dependency hook GC copy-backs use so a
+    /// migration program waits for its source read to complete.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::program`].
+    pub fn program_async_after(
+        &mut self,
+        ppa: Ppa,
+        data: Vec<u8>,
+        mut oob: PageOob,
+        not_before_ns: u64,
+    ) -> Result<(u64, OpTicket), NandError> {
         self.check_address(ppa)?;
         if data.len() != self.geometry.page_size {
             return Err(NandError::WrongPageSize {
@@ -261,22 +311,43 @@ impl NandArray {
             BlockState::Open
         };
 
-        let latency = self.timing.program_latency(self.geometry.page_size);
-        let done = self
-            .schedule
-            .schedule(ppa.channel, self.clock.now_ns(), latency);
-        self.clock.advance_to(done);
-        self.stats.record_program(latency);
-        Ok(seq)
+        let earliest = self.clock.now_ns().max(not_before_ns);
+        let (ticket, covered) = self.pipelines.dispatch_program(
+            ppa.channel,
+            ppa.chip,
+            ppa.plane,
+            earliest,
+            self.timing.program_ns,
+            self.timing.transfer_latency(self.geometry.page_size),
+        );
+        self.stats
+            .record_program(self.timing.program_latency(self.geometry.page_size));
+        self.stats.record_channel_busy(ppa.channel, covered);
+        Ok((seq, ticket))
     }
 
-    /// Reads the page at `ppa`, advancing simulated time.
+    /// Reads the page at `ppa`, blocking (the clock advances to the
+    /// completion).
     ///
     /// # Errors
     ///
     /// Fails if the address is out of range, the block is bad, or the page is
     /// erased.
     pub fn read(&mut self, ppa: Ppa) -> Result<(Vec<u8>, PageOob), NandError> {
+        let (data, oob, ticket) = self.read_async(ppa)?;
+        self.clock.advance_to(ticket.done_ns);
+        Ok((data, oob))
+    }
+
+    /// Dispatches a read without advancing the clock: returns the data (the
+    /// simulator state is authoritative) plus the ticket for when the
+    /// hardware would deliver it (cell phase on the plane, data out over
+    /// the channel bus).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_async(&mut self, ppa: Ppa) -> Result<(Vec<u8>, PageOob, OpTicket), NandError> {
         self.check_address(ppa)?;
         let block_idx = self.geometry.block_index(ppa) as usize;
         let block = &self.blocks[block_idx];
@@ -288,13 +359,18 @@ impl NandArray {
             .ok_or(NandError::ReadOnErased(ppa))?;
         let out = (data.to_vec(), *oob);
 
-        let latency = self.timing.read_latency(self.geometry.page_size);
-        let done = self
-            .schedule
-            .schedule(ppa.channel, self.clock.now_ns(), latency);
-        self.clock.advance_to(done);
-        self.stats.record_read(latency);
-        Ok(out)
+        let (ticket, covered) = self.pipelines.dispatch_read(
+            ppa.channel,
+            ppa.chip,
+            ppa.plane,
+            self.clock.now_ns(),
+            self.timing.read_ns,
+            self.timing.transfer_latency(self.geometry.page_size),
+        );
+        self.stats
+            .record_read(self.timing.read_latency(self.geometry.page_size));
+        self.stats.record_channel_busy(ppa.channel, covered);
+        Ok((out.0, out.1, ticket))
     }
 
     /// Reads only the OOB metadata of a programmed page (cheaper than a full
@@ -316,22 +392,43 @@ impl NandArray {
             .ok_or(NandError::ReadOnErased(ppa))?;
         let oob = *oob;
 
-        let latency = self.timing.read_ns;
-        let done = self
-            .schedule
-            .schedule(ppa.channel, self.clock.now_ns(), latency);
-        self.clock.advance_to(done);
-        self.stats.record_read(latency);
+        // Cell read without the data transfer (OOB bytes are negligible).
+        let (ticket, covered) = self.pipelines.dispatch_read(
+            ppa.channel,
+            ppa.chip,
+            ppa.plane,
+            self.clock.now_ns(),
+            self.timing.read_ns,
+            0,
+        );
+        self.clock.advance_to(ticket.done_ns);
+        self.stats.record_read(self.timing.read_ns);
+        self.stats.record_channel_busy(ppa.channel, covered);
         Ok(oob)
     }
 
-    /// Erases the block containing `ppa`, consuming one P/E cycle. The block
-    /// becomes [`BlockState::Bad`] once its endurance budget is exhausted.
+    /// Erases the block containing `ppa`, blocking (the clock advances to
+    /// the completion), consuming one P/E cycle. The block becomes
+    /// [`BlockState::Bad`] once its endurance budget is exhausted.
     ///
     /// # Errors
     ///
     /// Fails if the address is out of range or the block is already bad.
     pub fn erase_block(&mut self, ppa: Ppa) -> Result<(), NandError> {
+        let ticket = self.erase_block_async(ppa)?;
+        self.clock.advance_to(ticket.done_ns);
+        Ok(())
+    }
+
+    /// Dispatches a block erase without advancing the clock. The plane's
+    /// busy horizon orders it after every dispatched read of the block's
+    /// pages (they share the plane), so GC can erase a victim while other
+    /// channels keep serving the host.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::erase_block`].
+    pub fn erase_block_async(&mut self, ppa: Ppa) -> Result<OpTicket, NandError> {
         self.check_address(ppa)?;
         let block_idx = self.geometry.block_index(ppa) as usize;
         let max_pe = self.max_pe_cycles;
@@ -348,13 +445,16 @@ impl NandArray {
             BlockState::Erased
         };
 
-        let latency = self.timing.erase_latency();
-        let done = self
-            .schedule
-            .schedule(ppa.channel, self.clock.now_ns(), latency);
-        self.clock.advance_to(done);
-        self.stats.record_erase(latency);
-        Ok(())
+        let (ticket, covered) = self.pipelines.dispatch_erase(
+            ppa.channel,
+            ppa.chip,
+            ppa.plane,
+            self.clock.now_ns(),
+            self.timing.erase_latency(),
+        );
+        self.stats.record_erase(self.timing.erase_latency());
+        self.stats.record_channel_busy(ppa.channel, covered);
+        Ok(ticket)
     }
 
     /// Iterates the OOB metadata of every programmed page in the block
@@ -371,11 +471,47 @@ impl NandArray {
             .collect())
     }
 
-    /// Reads page data + OOB without charging latency or advancing the
-    /// clock. This models a *background* read scheduled into idle channel
-    /// windows (how RSSD's offload engine drains retained pages without
-    /// perturbing foreground I/O — see DESIGN.md). Counted separately in
-    /// the stats.
+    /// Dispatches a *background* read onto the unit pipelines without
+    /// advancing the clock: the op occupies its plane and channel like any
+    /// read (so it genuinely competes with foreground I/O for the units —
+    /// the real, bounded cost of RSSD's offload engine), but nothing blocks
+    /// on it. Counted as a background read in the stats.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_background_async(
+        &mut self,
+        ppa: Ppa,
+    ) -> Result<(Vec<u8>, PageOob, OpTicket), NandError> {
+        self.check_address(ppa)?;
+        let block = &self.blocks[self.geometry.block_index(ppa) as usize];
+        if block.state == BlockState::Bad {
+            return Err(NandError::BadBlock(ppa));
+        }
+        let (data, oob) = block.pages[ppa.page as usize]
+            .as_ref()
+            .ok_or(NandError::ReadOnErased(ppa))?;
+        let out = (data.to_vec(), *oob);
+        let (ticket, covered) = self.pipelines.dispatch_read(
+            ppa.channel,
+            ppa.chip,
+            ppa.plane,
+            self.clock.now_ns(),
+            self.timing.read_ns,
+            self.timing.transfer_latency(self.geometry.page_size),
+        );
+        self.stats.record_background_read();
+        self.stats.record_channel_busy(ppa.channel, covered);
+        Ok((out.0, out.1, ticket))
+    }
+
+    /// Reads page data + OOB without charging any latency at all — no
+    /// pipeline occupation, no clock movement. This is the investigator's
+    /// / recovery path (post-incident forensics outside the device's
+    /// foreground timeline); the *offload engine* uses
+    /// [`Self::read_background_async`], which does occupy units. Counted
+    /// separately in the stats.
     ///
     /// # Errors
     ///
@@ -404,6 +540,29 @@ impl NandArray {
     /// Global write sequence counter value (next program gets this number).
     pub fn next_seq(&self) -> u64 {
         self.seq_counter
+    }
+
+    /// Blocks until every dispatched operation has completed: advances the
+    /// clock to the pipelines' horizon and returns the new time. The batch
+    /// paths call this (or advance to their own max ticket) once per batch
+    /// — the only places the clock moves under pipelined execution.
+    pub fn sync(&mut self) -> u64 {
+        self.clock.advance_to(self.pipelines.horizon_ns())
+    }
+
+    /// Earliest time a new cell operation could start on `channel` (its
+    /// freest plane's horizon).
+    pub fn channel_next_free_ns(&self, channel: u32) -> u64 {
+        self.pipelines.channel_next_free_ns(channel)
+    }
+
+    /// The channel whose freest plane goes idle soonest — where GC places
+    /// copy-backs so they ride idle units instead of queueing behind host
+    /// I/O.
+    pub fn least_busy_channel(&self) -> u32 {
+        (0..self.geometry.channels)
+            .min_by_key(|&ch| self.pipelines.channel_next_free_ns(ch))
+            .unwrap_or(0)
     }
 
     fn check_address(&self, ppa: Ppa) -> Result<(), NandError> {
@@ -559,6 +718,84 @@ mod tests {
         );
         nand.read(ppa).unwrap();
         assert!(clock.now_ns() > after_program);
+    }
+
+    #[test]
+    fn async_dispatch_leaves_clock_still_until_sync() {
+        let clock = SimClock::new();
+        let mut nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::mlc_default(),
+            clock.clone(),
+        );
+        let t = NandTiming::mlc_default();
+        // Two programs on different channels dispatched back to back.
+        let (_, a) = nand
+            .program_async(Ppa::new(0, 0, 0, 0, 0), page(1), oob(0))
+            .unwrap();
+        let (_, b) = nand
+            .program_async(Ppa::new(1, 0, 0, 0, 0), page(2), oob(1))
+            .unwrap();
+        assert_eq!(clock.now_ns(), 0, "dispatch must not advance the clock");
+        assert_eq!(a.done_ns, t.program_latency(4096));
+        assert_eq!(b.done_ns, a.done_ns, "independent channels overlap");
+        let end = nand.sync();
+        assert_eq!(end, a.done_ns, "sync blocks on the horizon");
+    }
+
+    #[test]
+    fn same_channel_chips_overlap_cell_phases() {
+        let mut nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::mlc_default(),
+            SimClock::new(),
+        );
+        let t = NandTiming::mlc_default();
+        // Chip 0 and chip 1 of channel 0: transfers serialize on the bus,
+        // cell phases overlap.
+        let (_, a) = nand
+            .program_async(Ppa::new(0, 0, 0, 0, 0), page(1), oob(0))
+            .unwrap();
+        let (_, b) = nand
+            .program_async(Ppa::new(0, 1, 0, 0, 0), page(2), oob(1))
+            .unwrap();
+        assert_eq!(a.done_ns, t.program_latency(4096));
+        assert_eq!(b.done_ns, 2 * t.transfer_latency(4096) + t.program_ns);
+        assert!(
+            b.done_ns < 2 * t.program_latency(4096),
+            "pipelined, not serial"
+        );
+    }
+
+    #[test]
+    fn program_async_after_defers_the_start() {
+        let mut nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::mlc_default(),
+            SimClock::new(),
+        );
+        let (_, t) = nand
+            .program_async_after(Ppa::new(0, 0, 0, 0, 0), page(1), oob(0), 1_000_000)
+            .unwrap();
+        assert_eq!(t.start_ns, 1_000_000);
+    }
+
+    #[test]
+    fn channel_busy_stats_accumulate() {
+        let mut nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::mlc_default(),
+            SimClock::new(),
+        );
+        nand.program(Ppa::new(0, 0, 0, 0, 0), page(1), oob(0))
+            .unwrap();
+        let busy = nand.stats().channel_busy_ns();
+        assert_eq!(busy.len(), 2);
+        assert_eq!(busy[0], NandTiming::mlc_default().program_latency(4096));
+        assert_eq!(busy[1], 0);
+        let wall = nand.clock().now_ns();
+        let util = nand.stats().channel_utilization(wall);
+        assert!((util[0] - 1.0).abs() < 1e-12);
     }
 
     #[test]

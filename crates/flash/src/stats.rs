@@ -5,8 +5,10 @@ use serde::{Deserialize, Serialize};
 /// Counters of raw NAND operations and the simulated time they consumed.
 ///
 /// The lifetime experiment (E4) reads erase counts from here; the performance
-/// experiment (E3) compares busy time between device models.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// experiment (E3) compares busy time between device models; the queue-depth
+/// sweep reports per-channel utilization (busy_ns / wall_ns) from the
+/// channel-busy vector.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[must_use]
 pub struct NandStats {
     reads: u64,
@@ -16,9 +18,21 @@ pub struct NandStats {
     read_time_ns: u64,
     program_time_ns: u64,
     erase_time_ns: u64,
+    /// Per-channel busy time: nanoseconds during which *any* unit of the
+    /// channel (bus or a plane) was occupied (interval union, so pipelined
+    /// overlap is not double-counted).
+    channel_busy_ns: Vec<u64>,
 }
 
 impl NandStats {
+    /// Creates counters for a device with `channels` channels.
+    pub fn for_channels(channels: u32) -> Self {
+        NandStats {
+            channel_busy_ns: vec![0; channels as usize],
+            ..NandStats::default()
+        }
+    }
+
     /// Number of page reads performed.
     pub fn reads(&self) -> u64 {
         self.reads
@@ -49,7 +63,8 @@ impl NandStats {
         self.erase_time_ns
     }
 
-    /// Total simulated device busy time.
+    /// Total simulated device busy time (sum of nominal op latencies; with
+    /// pipelining this exceeds wall time when units overlap).
     pub fn total_busy_ns(&self) -> u64 {
         self.read_time_ns + self.program_time_ns + self.erase_time_ns
     }
@@ -57,6 +72,24 @@ impl NandStats {
     /// Background (offload-engine) page reads, scheduled into idle windows.
     pub fn background_reads(&self) -> u64 {
         self.background_reads
+    }
+
+    /// Per-channel busy time (interval union over the channel's units).
+    pub fn channel_busy_ns(&self) -> &[u64] {
+        &self.channel_busy_ns
+    }
+
+    /// Per-channel utilization over a wall-clock window of `wall_ns`
+    /// simulated nanoseconds: busy_ns / wall_ns, each in `0.0..=1.0`.
+    /// Empty when `wall_ns` is zero.
+    pub fn channel_utilization(&self, wall_ns: u64) -> Vec<f64> {
+        if wall_ns == 0 {
+            return Vec::new();
+        }
+        self.channel_busy_ns
+            .iter()
+            .map(|&busy| (busy as f64 / wall_ns as f64).min(1.0))
+            .collect()
     }
 
     pub(crate) fn record_background_read(&mut self) {
@@ -77,6 +110,12 @@ impl NandStats {
         self.erases += 1;
         self.erase_time_ns += latency_ns;
     }
+
+    pub(crate) fn record_channel_busy(&mut self, channel: u32, covered_ns: u64) {
+        if let Some(slot) = self.channel_busy_ns.get_mut(channel as usize) {
+            *slot += covered_ns;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +133,25 @@ mod tests {
         assert_eq!(s.programs(), 1);
         assert_eq!(s.erases(), 1);
         assert_eq!(s.total_busy_ns(), 10 + 10 + 100 + 1000);
+    }
+
+    #[test]
+    fn channel_busy_accumulates_per_channel() {
+        let mut s = NandStats::for_channels(2);
+        s.record_channel_busy(0, 100);
+        s.record_channel_busy(0, 50);
+        s.record_channel_busy(1, 10);
+        assert_eq!(s.channel_busy_ns(), &[150, 10]);
+        let util = s.channel_utilization(300);
+        assert!((util[0] - 0.5).abs() < 1e-12);
+        assert!((util[1] - 10.0 / 300.0).abs() < 1e-12);
+        assert!(s.channel_utilization(0).is_empty());
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let mut s = NandStats::for_channels(1);
+        s.record_channel_busy(0, 500);
+        assert_eq!(s.channel_utilization(100), vec![1.0]);
     }
 }

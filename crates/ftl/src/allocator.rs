@@ -1,8 +1,15 @@
 //! Free-block pool and active-block write allocation.
 //!
-//! Writes stripe across channels round-robin (to exploit channel
-//! parallelism); within a pool, the freshest allocation is the erased block
-//! with the fewest P/E cycles (dynamic wear leveling).
+//! Host writes stripe across the device's internal parallel units: the
+//! allocator keeps one active block per **lane** — a (channel, chip, plane)
+//! tuple — and rotates consecutive writes channel-first across the lanes,
+//! so a burst of writes lands on independent pipelines (the allocation-side
+//! half of the device-internal parallelism the timing model exposes).
+//! GC migrations use separate per-channel active blocks and are placed on
+//! whichever channel is idlest when the pass runs, keeping copy-back
+//! traffic off the pipelines the host is using. Within a lane or channel,
+//! the freshest allocation is the erased block with the fewest P/E cycles
+//! (dynamic wear leveling).
 
 use rssd_flash::{FlashGeometry, NandArray, Ppa};
 use std::collections::BTreeSet;
@@ -18,18 +25,20 @@ pub enum Stream {
     Gc,
 }
 
-/// Free-block pool plus per-stream active blocks.
+/// Free-block pool plus per-lane (host) and per-channel (GC) active blocks.
 #[derive(Clone, Debug)]
 pub struct BlockAllocator {
     geometry: FlashGeometry,
     /// Erased blocks ready for allocation, keyed by (pe_cycles, block) so
-    /// `pop_first` implements dynamic wear leveling.
+    /// iteration order implements dynamic wear leveling.
     free: BTreeSet<(u32, u32)>,
-    /// Active (partially programmed) block per stream, with its next page.
-    active_host: Option<(u32, u32)>,
-    active_gc: Option<(u32, u32)>,
-    /// Round-robin cursor so consecutive allocations spread over channels.
-    rr_cursor: u32,
+    /// Active (partially programmed) host block per lane, with its next
+    /// page. A block is dropped from its lane the moment it fills.
+    host_lanes: Vec<Option<(u32, u32)>>,
+    /// Rotating lane cursor: consecutive host writes stripe channel-first.
+    host_cursor: usize,
+    /// Active GC block per channel.
+    gc_active: Vec<Option<(u32, u32)>>,
 }
 
 impl BlockAllocator {
@@ -37,11 +46,11 @@ impl BlockAllocator {
     pub fn new(geometry: FlashGeometry) -> Self {
         let free = (0..geometry.total_blocks()).map(|b| (0u32, b)).collect();
         BlockAllocator {
-            geometry,
             free,
-            active_host: None,
-            active_gc: None,
-            rr_cursor: 0,
+            host_lanes: vec![None; geometry.total_planes() as usize],
+            host_cursor: 0,
+            gc_active: vec![None; geometry.channels as usize],
+            geometry,
         }
     }
 
@@ -50,66 +59,126 @@ impl BlockAllocator {
         self.free.len() as u32
     }
 
+    /// The lane (plane) index of `block`, in cursor order: channels rotate
+    /// fastest so consecutive lane indices alternate channels.
+    fn lane_of_block(&self, block: u32) -> usize {
+        let ppa = self.geometry.block_to_ppa(block);
+        self.lane_index(ppa)
+    }
+
+    /// Cursor-ordered lane index: `plane-major within chip, chip within
+    /// channel` is inverted so that stepping the cursor by one moves to the
+    /// next *channel* first.
+    fn lane_index(&self, ppa: Ppa) -> usize {
+        let g = &self.geometry;
+        ((ppa.chip * g.planes_per_chip + ppa.plane) * g.channels + ppa.channel) as usize
+    }
+
     /// Returns the next page to program for `stream`, opening a new active
     /// block from the pool if necessary. Returns `None` when the pool is
     /// empty and no active block has room.
+    ///
+    /// Host allocations stripe across the lanes; GC allocations go to the
+    /// channel `nand` reports as idlest (falling back across channels).
     pub fn next_page(&mut self, stream: Stream, nand: &NandArray) -> Option<Ppa> {
-        let pages_per_block = self.geometry.pages_per_block;
-        let active = match stream {
-            Stream::Host => &mut self.active_host,
-            Stream::Gc => &mut self.active_gc,
-        };
+        match stream {
+            Stream::Host => self.next_host_page(nand, true),
+            Stream::Gc => self.next_gc_page(nand),
+        }
+    }
 
-        if let Some((block, next_page)) = active {
-            if *next_page < pages_per_block {
-                let ppa = self.geometry.block_to_ppa(*block).with_page(*next_page);
-                *next_page += 1;
+    /// Host allocation with an explicit open policy: when `allow_open` is
+    /// false only lanes with an already-open block are used (the FTL gates
+    /// opening on the GC reserve).
+    pub fn next_host_page(&mut self, nand: &NandArray, allow_open: bool) -> Option<Ppa> {
+        let lanes = self.host_lanes.len();
+        for step in 0..lanes {
+            let li = (self.host_cursor + step) % lanes;
+            if let Some(ppa) = self.lane_page(li) {
+                self.host_cursor = (li + 1) % lanes;
                 return Some(ppa);
             }
+            if allow_open {
+                if let Some(block) = self.pick_block_for_lane(li, nand) {
+                    self.free.retain(|&(_, b)| b != block);
+                    let ppa = self.geometry.block_to_ppa(block);
+                    self.host_lanes[li] = self.advanced_entry(block, 1);
+                    self.host_cursor = (li + 1) % lanes;
+                    return Some(ppa);
+                }
+            }
         }
+        None
+    }
 
-        // Need a fresh block: prefer least-worn, breaking ties by spreading
-        // across channels starting at the round-robin cursor.
-        let chosen = self.pick_block(nand)?;
-        self.free.retain(|&(_, b)| b != chosen);
-        let ppa = self.geometry.block_to_ppa(chosen);
-        match stream {
-            Stream::Host => self.active_host = Some((chosen, 1)),
-            Stream::Gc => self.active_gc = Some((chosen, 1)),
-        }
+    /// Takes the next page of lane `li`'s active block, dropping the block
+    /// from the lane once it fills.
+    fn lane_page(&mut self, li: usize) -> Option<Ppa> {
+        let (block, next_page) = self.host_lanes[li]?;
+        let ppa = self.geometry.block_to_ppa(block).with_page(next_page);
+        self.host_lanes[li] = self.advanced_entry(block, next_page + 1);
         Some(ppa)
     }
 
-    fn pick_block(&mut self, nand: &NandArray) -> Option<u32> {
-        if self.free.is_empty() {
-            return None;
+    /// The lane/channel entry after programming up to `next_page`: `None`
+    /// once the block is full (full blocks need no tracking and become GC
+    /// candidates immediately).
+    fn advanced_entry(&self, block: u32, next_page: u32) -> Option<(u32, u32)> {
+        (next_page < self.geometry.pages_per_block).then_some((block, next_page))
+    }
+
+    /// GC allocation: prefer the idlest channel, falling back round-robin
+    /// across the rest, then to any free block anywhere.
+    fn next_gc_page(&mut self, nand: &NandArray) -> Option<Ppa> {
+        let channels = self.geometry.channels;
+        let start = nand.least_busy_channel();
+        for step in 0..channels {
+            let ch = (start + step) % channels;
+            let slot = ch as usize;
+            if let Some((block, next_page)) = self.gc_active[slot] {
+                let ppa = self.geometry.block_to_ppa(block).with_page(next_page);
+                self.gc_active[slot] = self.advanced_entry(block, next_page + 1);
+                return Some(ppa);
+            }
+            if let Some(block) = self.pick_block_in_channel(ch) {
+                self.free.retain(|&(_, b)| b != block);
+                let ppa = self.geometry.block_to_ppa(block);
+                self.gc_active[slot] = self.advanced_entry(block, 1);
+                return Some(ppa);
+            }
         }
-        // All candidates with the minimal wear.
-        let min_pe = self.free.iter().next().expect("non-empty").0;
-        let preferred_channel = self.rr_cursor % self.geometry.channels;
-        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        None
+    }
+
+    /// Least-worn free block belonging to lane `li`.
+    fn pick_block_for_lane(&self, li: usize, nand: &NandArray) -> Option<u32> {
         let candidate = self
             .free
             .iter()
-            .take_while(|&&(pe, _)| pe == min_pe)
             .map(|&(_, b)| b)
-            .find(|&b| self.geometry.block_to_ppa(b).channel == preferred_channel)
-            .or_else(|| self.free.iter().next().map(|&(_, b)| b));
+            .find(|&b| self.lane_of_block(b) == li);
         // Sanity check the block really is erased in the NAND.
-        debug_assert!(candidate.is_some_and(|b| {
+        debug_assert!(candidate.map_or(true, |b| {
             nand.block_state(self.geometry.block_to_ppa(b))
                 .is_ok_and(|s| s == rssd_flash::BlockState::Erased)
         }));
         candidate
     }
 
-    /// Does the active block for `stream` still have an unprogrammed page?
+    /// Least-worn free block on `channel`.
+    fn pick_block_in_channel(&self, channel: u32) -> Option<u32> {
+        self.free
+            .iter()
+            .map(|&(_, b)| b)
+            .find(|&b| self.geometry.block_to_ppa(b).channel == channel)
+    }
+
+    /// Does any active block for `stream` still have an unprogrammed page?
     pub fn has_room(&self, stream: Stream) -> bool {
-        let active = match stream {
-            Stream::Host => &self.active_host,
-            Stream::Gc => &self.active_gc,
-        };
-        active.is_some_and(|(_, next)| next < self.geometry.pages_per_block)
+        match stream {
+            Stream::Host => self.host_lanes.iter().any(Option::is_some),
+            Stream::Gc => self.gc_active.iter().any(Option::is_some),
+        }
     }
 
     /// Returns an erased block (after GC) to the pool with its wear count.
@@ -122,12 +191,13 @@ impl BlockAllocator {
         self.free.retain(|&(_, b)| b != block_index);
     }
 
-    /// Blocks currently held open for writing (at most one per stream).
+    /// Blocks currently held open for writing (up to one per host lane plus
+    /// one per GC channel).
     pub fn active_blocks(&self) -> Vec<u32> {
-        self.active_host
+        self.host_lanes
             .iter()
-            .chain(self.active_gc.iter())
-            .map(|&(b, _)| b)
+            .chain(self.gc_active.iter())
+            .filter_map(|slot| slot.map(|(b, _)| b))
             .collect()
     }
 }
@@ -144,24 +214,27 @@ mod tests {
     }
 
     #[test]
-    fn allocates_sequential_pages_within_block() {
+    fn consecutive_host_writes_stripe_across_channels() {
         let (mut alloc, nand) = setup();
         let a = alloc.next_page(Stream::Host, &nand).unwrap();
         let b = alloc.next_page(Stream::Host, &nand).unwrap();
-        assert_eq!(a.with_page(0), b.with_page(0), "same block");
-        assert_eq!(a.page + 1, b.page);
+        assert_ne!(a.channel, b.channel, "stripe channel-first: {a} vs {b}");
     }
 
     #[test]
-    fn opens_new_block_when_full() {
+    fn lane_round_trip_returns_to_the_same_block() {
         let (mut alloc, nand) = setup();
+        let g = FlashGeometry::small_test();
+        let lanes = g.total_planes() as usize;
         let first = alloc.next_page(Stream::Host, &nand).unwrap();
-        for _ in 0..7 {
+        for _ in 0..lanes - 1 {
             alloc.next_page(Stream::Host, &nand).unwrap();
         }
-        let next = alloc.next_page(Stream::Host, &nand).unwrap();
-        assert_ne!(first.with_page(0), next.with_page(0));
-        assert_eq!(next.page, 0);
+        // One full rotation later the cursor is back on the first lane and
+        // continues its open block sequentially.
+        let again = alloc.next_page(Stream::Host, &nand).unwrap();
+        assert_eq!(first.with_page(0), again.with_page(0), "same block");
+        assert_eq!(first.page + 1, again.page);
     }
 
     #[test]
@@ -184,6 +257,20 @@ mod tests {
     }
 
     #[test]
+    fn closed_open_policy_uses_only_open_blocks() {
+        let (mut alloc, nand) = setup();
+        // Nothing open yet: with opening disallowed there is nothing to
+        // hand out even though the pool is full.
+        assert_eq!(alloc.next_host_page(&nand, false), None);
+        let a = alloc.next_host_page(&nand, true).unwrap();
+        // The opened lane still has room, so the closed policy can use it
+        // (the cursor rotates back around to it).
+        let b = alloc.next_host_page(&nand, false).unwrap();
+        assert_eq!(a.with_page(0), b.with_page(0));
+        assert_eq!(b.page, 1);
+    }
+
+    #[test]
     fn release_returns_block_to_pool() {
         let (mut alloc, nand) = setup();
         let total = FlashGeometry::small_test().total_pages();
@@ -196,27 +283,64 @@ mod tests {
     }
 
     #[test]
-    fn wear_leveling_prefers_least_worn() {
+    fn wear_leveling_prefers_least_worn_in_lane() {
         let g = FlashGeometry::small_test();
         let nand = NandArray::with_clock(g, NandTiming::instant(), SimClock::new());
         let mut alloc = BlockAllocator::new(g);
-        // Drain the pool, then return two blocks with different wear.
+        // Drain the pool, then return two blocks of the same lane (both in
+        // channel 0, chip 0, plane 0: blocks 0..8) with different wear.
         while alloc.next_page(Stream::Host, &nand).is_some() {}
         alloc.release_block(5, 10);
-        alloc.release_block(9, 1);
+        alloc.release_block(3, 1);
         let ppa = alloc.next_page(Stream::Host, &nand).unwrap();
-        assert_eq!(g.block_index(ppa), 9, "least-worn block first");
+        assert_eq!(g.block_index(ppa), 3, "least-worn block first");
+    }
+
+    #[test]
+    fn full_blocks_leave_their_lane() {
+        let (mut alloc, nand) = setup();
+        let g = FlashGeometry::small_test();
+        let lanes = g.total_planes();
+        // Fill every lane's first block completely.
+        let mut first_blocks = Vec::new();
+        for i in 0..lanes * g.pages_per_block {
+            let ppa = alloc.next_page(Stream::Host, &nand).unwrap();
+            if i < lanes {
+                first_blocks.push(g.block_index(ppa));
+            }
+        }
+        for b in first_blocks {
+            assert!(
+                !alloc.active_blocks().contains(&b),
+                "full block {b} must leave its lane (GC-eligible)"
+            );
+        }
     }
 
     #[test]
     fn retire_removes_block() {
         let (mut alloc, nand) = setup();
         let before = alloc.free_blocks();
-        // Retire a block that is still in the pool (not active).
         let active = alloc.active_blocks();
         let victim = (0..before).find(|b| !active.contains(b)).unwrap();
         alloc.retire_block(victim);
         assert_eq!(alloc.free_blocks(), before - 1);
         let _ = nand;
+    }
+
+    #[test]
+    fn gc_prefers_the_idlest_channel() {
+        let g = FlashGeometry::small_test();
+        let clock = SimClock::new();
+        let mut nand = NandArray::with_clock(g, NandTiming::mlc_default(), clock);
+        let mut alloc = BlockAllocator::new(g);
+        // Keep channel 0 busy: program both planes' worth of chips there.
+        for chip in 0..g.chips_per_channel {
+            let ppa = Ppa::new(0, chip, 0, 0, 0);
+            let _ = nand.program_async(ppa, vec![0; g.page_size], Default::default());
+        }
+        assert_eq!(nand.least_busy_channel(), 1);
+        let gc = alloc.next_page(Stream::Gc, &nand).unwrap();
+        assert_eq!(gc.channel, 1, "copy-backs go to the idle channel");
     }
 }

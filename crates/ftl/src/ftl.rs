@@ -7,7 +7,9 @@ use crate::config::GcPolicy;
 use crate::gc::{select_victim, Candidate};
 use crate::mapping::MappingTable;
 use crate::stats::FtlStats;
-use rssd_flash::{BlockState, FlashGeometry, NandArray, NandError, PageOob, Ppa, SimClock};
+use rssd_flash::{
+    BlockState, FlashGeometry, NandArray, NandError, OpTicket, PageOob, Ppa, SimClock,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
@@ -192,7 +194,8 @@ impl Ftl {
         self.pinned.len() as u64
     }
 
-    /// Writes one logical page.
+    /// Writes one logical page, blocking (the clock advances to the
+    /// program's completion).
     ///
     /// # Errors
     ///
@@ -202,6 +205,23 @@ impl Ftl {
     ///   retention policy has pinned every candidate block (this is the
     ///   condition the GC attack drives baselines into).
     pub fn write(&mut self, lpa: u64, data: Vec<u8>) -> Result<(), FtlError> {
+        let ticket = self.write_async(lpa, data)?;
+        self.clock().advance_to(ticket.done_ns);
+        Ok(())
+    }
+
+    /// Dispatches one logical-page write onto the flash pipelines without
+    /// advancing the clock: the mapping/stale-event state commits
+    /// immediately, the ticket says when the program completes. Consecutive
+    /// dispatches stripe across channels (see
+    /// [`crate::allocator::BlockAllocator`]), so a batch of writes overlaps
+    /// on independent units — the batched device paths block once per batch
+    /// on their latest ticket.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::write`].
+    pub fn write_async(&mut self, lpa: u64, data: Vec<u8>) -> Result<OpTicket, FtlError> {
         self.check_lpa(lpa)?;
         if data.len() != self.geometry.page_size {
             return Err(FtlError::WrongPageSize {
@@ -211,7 +231,7 @@ impl Ftl {
         }
         self.run_background_gc();
         let ppa = self.acquire_host_page()?;
-        self.nand.program(
+        let (_, ticket) = self.nand.program_async(
             ppa,
             data,
             PageOob {
@@ -224,23 +244,37 @@ impl Ftl {
         if let Some(old) = self.mapping.update(lpa, ppa) {
             self.emit_stale(lpa, old, InvalidateCause::Overwrite);
         }
-        Ok(())
+        Ok(ticket)
     }
 
-    /// Reads one logical page. `Ok(None)` means the page is unmapped (never
-    /// written or trimmed); the device layer renders it as zeroes.
+    /// Reads one logical page, blocking (the clock advances to the read's
+    /// completion). `Ok(None)` means the page is unmapped (never written or
+    /// trimmed); the device layer renders it as zeroes.
     ///
     /// # Errors
     ///
     /// Returns [`FtlError::LpaOutOfRange`] or a NAND error.
     pub fn read(&mut self, lpa: u64) -> Result<Option<Vec<u8>>, FtlError> {
+        let (data, ticket) = self.read_async(lpa)?;
+        self.clock().advance_to(ticket.done_ns);
+        Ok(data)
+    }
+
+    /// Dispatches one logical-page read without advancing the clock. An
+    /// unmapped page returns a zero-duration ticket (served from the
+    /// mapping table, no flash involved).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::read`].
+    pub fn read_async(&mut self, lpa: u64) -> Result<(Option<Vec<u8>>, OpTicket), FtlError> {
         self.check_lpa(lpa)?;
         match self.mapping.lookup(lpa) {
-            None => Ok(None),
+            None => Ok((None, OpTicket::instant(self.clock().now_ns()))),
             Some(ppa) => {
-                let (data, _) = self.nand.read(ppa)?;
+                let (data, _, ticket) = self.nand.read_async(ppa)?;
                 self.stats.host_pages_read += 1;
-                Ok(Some(data))
+                Ok((Some(data), ticket))
             }
         }
     }
@@ -273,8 +307,22 @@ impl Ftl {
         Ok(self.nand.read(ppa)?)
     }
 
-    /// Background physical read for the offload engine: no latency charged
-    /// (scheduled into idle channel windows — see `rssd-flash`).
+    /// Background physical read for the offload engine: dispatched onto the
+    /// unit pipelines (it occupies the page's plane and channel — the
+    /// small, bounded foreground perturbation the paper measures) but
+    /// nothing blocks on it and the clock does not move.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAND errors.
+    pub fn read_physical_offload(&mut self, ppa: Ppa) -> Result<(Vec<u8>, PageOob), FtlError> {
+        let (data, oob, _) = self.nand.read_background_async(ppa)?;
+        Ok((data, oob))
+    }
+
+    /// Zero-cost physical read for recovery and forensics (outside the
+    /// device's foreground timeline): no latency charged, no pipeline
+    /// occupation.
     ///
     /// # Errors
     ///
@@ -348,6 +396,13 @@ impl Ftl {
 
     /// One GC pass: select a victim, migrate its valid pages, erase it.
     /// Returns the erased block index, or `None` if no block is eligible.
+    ///
+    /// The copy-backs are dispatched, not blocked on: each migration read
+    /// rides the victim's plane, its program is placed on the idlest
+    /// channel (see [`crate::allocator::BlockAllocator`]) and ordered after
+    /// the read, and the erase queues behind the reads on the victim's
+    /// plane. The clock does not advance — GC overlaps host I/O on other
+    /// units exactly as the hardware would.
     pub fn gc_pass(&mut self) -> Option<u32> {
         let victim = self.select_gc_victim()?;
         self.stats.gc_invocations += 1;
@@ -357,13 +412,16 @@ impl Ftl {
         let victim_base = self.geometry.block_to_ppa(victim);
         for (page, lpa) in valid {
             let src = victim_base.with_page(page);
-            let (data, _) = self.nand.read(src).expect("valid page readable");
+            let (data, _, read_ticket) = self.nand.read_async(src).expect("valid page readable");
             let dst = self
                 .allocator
                 .next_page(Stream::Gc, &self.nand)
                 .expect("gc reserve exhausted");
-            self.nand
-                .program(
+            // Fire-and-forget: GC never blocks the clock, the unit
+            // horizons carry the cost.
+            let _ = self
+                .nand
+                .program_async_after(
                     dst,
                     data,
                     PageOob {
@@ -371,6 +429,7 @@ impl Ftl {
                         timestamp_ns: 0,
                         seq: 0,
                     },
+                    read_ticket.done_ns,
                 )
                 .expect("gc program");
             self.stats.gc_pages_migrated += 1;
@@ -379,9 +438,13 @@ impl Ftl {
             self.emit_stale(lpa, src, InvalidateCause::GcMigration);
         }
 
-        // All pages now stale and unpinned: erase.
+        // All pages now stale and unpinned: erase (queues on the victim's
+        // plane behind the migration reads).
         self.mapping.reset_block(victim);
-        self.nand.erase_block(victim_base).expect("erase victim");
+        let _ = self
+            .nand
+            .erase_block_async(victim_base)
+            .expect("erase victim");
         self.stats.gc_blocks_erased += 1;
         let state = self.nand.block_state(victim_base).expect("block state");
         if state == BlockState::Bad {
@@ -419,12 +482,11 @@ impl Ftl {
 
     fn acquire_host_page(&mut self) -> Result<Ppa, FtlError> {
         loop {
+            // Opening a fresh block is gated on the GC reserve; lanes with
+            // an already-open block can always be used.
             let can_open_new = self.allocator.free_blocks() > self.config.gc_reserved_blocks;
-            if self.allocator.has_room(Stream::Host) || can_open_new {
-                return self
-                    .allocator
-                    .next_page(Stream::Host, &self.nand)
-                    .ok_or(FtlError::DeviceFull);
+            if let Some(ppa) = self.allocator.next_host_page(&self.nand, can_open_new) {
+                return Ok(ppa);
             }
             if self.gc_pass().is_none() {
                 self.stats.write_stalls += 1;

@@ -148,18 +148,47 @@ pub trait BlockDevice {
     /// Executes a batch of queued commands, returning one result per
     /// command, in order.
     ///
-    /// The default implementation is the scalar loop, so every
-    /// [`BlockDevice`] works under the queue layer unchanged. Devices with
-    /// per-command bookkeeping can override it to amortize that work —
-    /// RSSD coalesces its background offload-threshold handling across the
-    /// batch (see `RssdDevice` in `rssd-core`).
+    /// The default implementation strips the completion times off
+    /// [`submit_batch_timed`](Self::submit_batch_timed), so a device only
+    /// ever overrides the timed entry point.
     ///
     /// Implementations must preserve command order and must return exactly
     /// `commands.len()` results; host-visible semantics (page contents,
     /// retained versions, the evidence chain) must be identical to the
     /// scalar loop.
     fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
-        commands.into_iter().map(|c| self.execute(c)).collect()
+        self.submit_batch_timed(commands)
+            .into_iter()
+            .map(|(result, _)| result)
+            .collect()
+    }
+
+    /// Executes a batch of queued commands, returning `(result,
+    /// completion_time_ns)` per command, in submission order — the entry
+    /// point the NVMe controller drives.
+    ///
+    /// The default implementation is the scalar loop (each command blocks,
+    /// its completion time is the clock after it), so every [`BlockDevice`]
+    /// works under the queue layer unchanged. Devices that model internal
+    /// parallelism override this to *dispatch* the whole batch onto their
+    /// unit pipelines: commands on independent channels/chips/planes
+    /// overlap, completion times come back out of order relative to
+    /// submission, and the device clock advances once — to the batch's
+    /// latest completion — when the batch returns (the "caller blocks on a
+    /// completion" rule of the timing model).
+    ///
+    /// Completion times must be on the device's [`SimClock`] timeline and
+    /// at or after the clock value at the corresponding command's dispatch;
+    /// host-visible semantics must be identical to the scalar loop — only
+    /// timing may differ.
+    fn submit_batch_timed(&mut self, commands: Vec<IoCommand>) -> Vec<(CommandResult, u64)> {
+        commands
+            .into_iter()
+            .map(|c| {
+                let result = self.execute(c);
+                (result, self.clock().now_ns())
+            })
+            .collect()
     }
 
     /// Best-effort recovery of the newest *retained* pre-attack version of
@@ -212,6 +241,10 @@ impl<T: BlockDevice + ?Sized> BlockDevice for &mut T {
 
     fn submit_batch(&mut self, commands: Vec<IoCommand>) -> Vec<CommandResult> {
         (**self).submit_batch(commands)
+    }
+
+    fn submit_batch_timed(&mut self, commands: Vec<IoCommand>) -> Vec<(CommandResult, u64)> {
+        (**self).submit_batch_timed(commands)
     }
 
     fn recover_page(&mut self, lpa: u64) -> Option<Vec<u8>> {

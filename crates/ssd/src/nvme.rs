@@ -140,9 +140,10 @@ pub struct Completion {
     pub result: CommandResult,
     /// Clock time at which the command entered the submission queue.
     pub submitted_at_ns: u64,
-    /// Clock time at which the completion was posted. Commands executed in
-    /// the same arbitration batch share a completion time (the moral
-    /// equivalent of interrupt coalescing).
+    /// Clock time at which the command actually completed on its device
+    /// unit. Commands of one arbitration batch dispatch together but
+    /// complete out of order as channels/chips/planes free up; the CQ
+    /// posts them in completion-time order, each carrying its own time.
     pub completed_at_ns: u64,
 }
 
@@ -611,16 +612,24 @@ impl<D: BlockDevice> NvmeController<D> {
             return 0;
         }
         let executed = commands.len();
-        let results = self.device.submit_batch(commands);
+        let timed = self.device.submit_batch_timed(commands);
         // A hard assert: a non-conforming override would otherwise silently
         // drop completions and leak their in-flight command ids.
         assert_eq!(
-            results.len(),
+            timed.len(),
             executed,
-            "submit_batch must return exactly one result per command"
+            "submit_batch_timed must return exactly one result per command"
         );
-        let now = self.device.clock().now_ns();
-        for ((qi, id, submitted_at_ns), result) in meta.into_iter().zip(results) {
+        // Post completions in completion-time order (out of order relative
+        // to submission when the device pipelines overlap commands); ties —
+        // including every command on a serial device — stay in submission
+        // order, so FIFO semantics degrade gracefully.
+        let mut order: Vec<usize> = (0..executed).collect();
+        order.sort_by_key(|&i| timed[i].1);
+        let mut timed: Vec<Option<(CommandResult, u64)>> = timed.into_iter().map(Some).collect();
+        for i in order {
+            let (result, completed_at_ns) = timed[i].take().expect("each slot posted once");
+            let (qi, id, submitted_at_ns) = meta[i];
             let pair = &mut self.queues[qi];
             pair.stats.completed += 1;
             if result.is_err() {
@@ -628,7 +637,7 @@ impl<D: BlockDevice> NvmeController<D> {
             }
             pair.stats
                 .latency
-                .record(now.saturating_sub(submitted_at_ns));
+                .record(completed_at_ns.saturating_sub(submitted_at_ns));
             pair.in_flight.remove(&id.0);
             pair.cq
                 .ring
@@ -636,7 +645,7 @@ impl<D: BlockDevice> NvmeController<D> {
                     id,
                     result,
                     submitted_at_ns,
-                    completed_at_ns: now,
+                    completed_at_ns,
                 })
                 .unwrap_or_else(|_| unreachable!("completion slot reserved at fetch"));
         }
@@ -838,6 +847,107 @@ mod tests {
         assert_eq!(
             merged.latency.count(),
             c.stats(a).latency.count() + c.stats(b).latency.count()
+        );
+    }
+
+    #[test]
+    fn completions_post_out_of_order_by_completion_time() {
+        // MLC timing: a write's program (~512 µs) far outlasts an unmapped
+        // read (served from the mapping table instantly). Submitted
+        // write-then-read in one arbitration batch, the read must complete
+        // first — CQ order is completion time, not submission order — and
+        // each completion must carry its own time.
+        let mut c = NvmeController::with_arbitration_burst(
+            PlainSsd::new(
+                FlashGeometry::small_test(),
+                NandTiming::mlc_default(),
+                SimClock::new(),
+            ),
+            8,
+        );
+        let q = c.create_queue_pair(8);
+        c.submit(
+            q,
+            CommandId(0),
+            IoCommand::Write {
+                lpa: 0,
+                data: page(1),
+            },
+        )
+        .unwrap();
+        c.submit(q, CommandId(1), IoCommand::Read { lpa: 5 })
+            .unwrap();
+        assert_eq!(c.process_round(), 2, "one batch");
+        let first = c.pop_completion(q).unwrap();
+        let second = c.pop_completion(q).unwrap();
+        assert_eq!(first.id, CommandId(1), "fast read completes first");
+        assert_eq!(second.id, CommandId(0));
+        assert!(first.completed_at_ns < second.completed_at_ns);
+        assert_eq!(
+            second.completed_at_ns,
+            c.device().clock().now_ns(),
+            "the batch blocks on its latest completion"
+        );
+    }
+
+    #[test]
+    fn batched_commands_overlap_across_channels() {
+        // Two writes land on different channels (the allocator stripes), so
+        // a 2-deep batch finishes in barely more than one program time —
+        // the device-internal parallelism the queue depth buys.
+        let serial_end = {
+            let mut c = NvmeController::with_arbitration_burst(
+                PlainSsd::new(
+                    FlashGeometry::small_test(),
+                    NandTiming::mlc_default(),
+                    SimClock::new(),
+                ),
+                1,
+            );
+            let q = c.create_queue_pair(1);
+            for i in 0..2u16 {
+                c.submit(
+                    q,
+                    CommandId(i),
+                    IoCommand::Write {
+                        lpa: u64::from(i),
+                        data: page(i as u8),
+                    },
+                )
+                .unwrap();
+                c.run_to_idle();
+                c.drain_completions(q);
+            }
+            c.device().clock().now_ns()
+        };
+        let batched_end = {
+            let mut c = NvmeController::with_arbitration_burst(
+                PlainSsd::new(
+                    FlashGeometry::small_test(),
+                    NandTiming::mlc_default(),
+                    SimClock::new(),
+                ),
+                2,
+            );
+            let q = c.create_queue_pair(2);
+            for i in 0..2u16 {
+                c.submit(
+                    q,
+                    CommandId(i),
+                    IoCommand::Write {
+                        lpa: u64::from(i),
+                        data: page(i as u8),
+                    },
+                )
+                .unwrap();
+            }
+            c.run_to_idle();
+            c.device().clock().now_ns()
+        };
+        assert!(
+            batched_end * 2 <= serial_end + 1_000,
+            "2-deep batch must overlap on independent channels: \
+             batched {batched_end} vs serial {serial_end}"
         );
     }
 

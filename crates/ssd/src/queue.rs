@@ -2,13 +2,53 @@
 //!
 //! The performance experiment (E3) compares per-request latency and
 //! throughput between the plain SSD and RSSD; this collector keeps a
-//! log-bucketed histogram so million-request runs stay cheap.
+//! log-linear histogram so million-request runs stay cheap.
 
 use serde::{Deserialize, Serialize};
 
-const BUCKETS: usize = 64;
+/// Sub-bucket resolution: each power-of-two octave is split into
+/// 2^SUB_BUCKET_BITS linear sub-buckets, bounding the relative
+/// quantization error to ~1/16 (6%) — fine enough that p50 and p99
+/// genuinely differ whenever the distribution does. (The previous plain
+/// log₂ bucketing collapsed everything within a 2× band, which made
+/// p50 == p99 in every `qd_sweep` row.)
+const SUB_BUCKET_BITS: u32 = 4;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Octaves above the exact linear range `0..SUB_BUCKETS`; covers all of
+/// `u64`.
+const OCTAVES: usize = 64 - SUB_BUCKET_BITS as usize;
+const BUCKETS: usize = SUB_BUCKETS + OCTAVES * SUB_BUCKETS;
 
-/// Log₂-bucketed latency histogram with exact mean/min/max.
+/// Maps a latency to its log-linear bucket. Values below `SUB_BUCKETS`
+/// are exact; above, the bucket is (octave of the value, top
+/// `SUB_BUCKET_BITS` bits after the leading one).
+fn bucket_index(latency_ns: u64) -> usize {
+    if latency_ns < SUB_BUCKETS as u64 {
+        return latency_ns as usize;
+    }
+    let exp = 63 - latency_ns.leading_zeros();
+    let sub = ((latency_ns >> (exp - SUB_BUCKET_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    let octave = (exp - SUB_BUCKET_BITS) as usize;
+    SUB_BUCKETS + octave * SUB_BUCKETS + sub
+}
+
+/// Upper edge (inclusive) of a bucket — what the quantile queries report,
+/// so estimates are conservative (never below the true value's bucket).
+fn bucket_upper_edge(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = ((index - SUB_BUCKETS) / SUB_BUCKETS) as u32;
+    let sub = ((index - SUB_BUCKETS) % SUB_BUCKETS) as u64;
+    let exp = octave + SUB_BUCKET_BITS;
+    let width = 1u64 << (exp - SUB_BUCKET_BITS);
+    let lower = (1u64 << exp) + sub * width;
+    lower.saturating_add(width - 1)
+}
+
+/// Log-linear-bucketed latency histogram with exact mean/min/max:
+/// power-of-two octaves, 16 linear sub-buckets per octave (≤ 6%
+/// quantization error on quantiles).
 ///
 /// # Examples
 ///
@@ -51,8 +91,7 @@ impl LatencyStats {
 
     /// Records one request latency in nanoseconds.
     pub fn record(&mut self, latency_ns: u64) {
-        let bucket = (64 - latency_ns.leading_zeros()).min(BUCKETS as u32 - 1) as usize;
-        self.buckets[bucket] += 1;
+        self.buckets[bucket_index(latency_ns)] += 1;
         self.count += 1;
         self.sum_ns += u128::from(latency_ns);
         self.min_ns = self.min_ns.min(latency_ns);
@@ -87,7 +126,8 @@ impl LatencyStats {
     }
 
     /// Approximate latency at `quantile` (e.g. `0.99`), resolved to the
-    /// upper edge of the containing log₂ bucket.
+    /// upper edge of the containing log-linear bucket (≤ ~6% above the true
+    /// quantile, never below its bucket).
     pub fn quantile_ns(&self, quantile: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -97,14 +137,15 @@ impl LatencyStats {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target.max(1) {
-                return if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+                // Never report past the observed extreme.
+                return bucket_upper_edge(i).min(self.max_ns);
             }
         }
         self.max_ns
     }
 
     /// Approximate latency at percentile `p` (e.g. `50.0`, `99.0`), resolved
-    /// to the upper edge of the containing log₂ bucket — the form the
+    /// to the upper edge of the containing log-linear bucket — the form the
     /// queue-depth sweep reports as p50/p99.
     pub fn percentile_ns(&self, p: f64) -> u64 {
         self.quantile_ns(p / 100.0)
@@ -193,6 +234,55 @@ mod tests {
             .collect();
         for w in ps.windows(2) {
             assert!(w[0] <= w[1], "{ps:?}");
+        }
+    }
+
+    #[test]
+    fn sub_octave_resolution_separates_p50_from_p99() {
+        // 100 µs and 190 µs share a log₂ octave (2^17 = 131072 splits
+        // them, but 100 000 and 120 000 do not): the old power-of-two
+        // histogram reported the same edge for both and p50 == p99. The
+        // log-linear buckets must keep them apart.
+        let mut s = LatencyStats::new();
+        for _ in 0..90 {
+            s.record(100_000);
+        }
+        for _ in 0..10 {
+            s.record(120_000);
+        }
+        let p50 = s.percentile_ns(50.0);
+        let p99 = s.percentile_ns(99.0);
+        assert!(
+            p50 < p99,
+            "sub-bucketing must separate them: {p50} vs {p99}"
+        );
+        // ≤ ~6% quantization error, conservative (upper edge).
+        assert!((100_000..=107_000).contains(&p50), "{p50}");
+        assert!((120_000..=128_000).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn bucket_round_trip_is_conservative() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            1_000,
+            99_999,
+            1_000_000,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            let edge = bucket_upper_edge(i);
+            assert!(edge >= v, "upper edge below value: {v} -> {edge}");
+            if v >= 16 {
+                // Relative error bound of the log-linear scheme.
+                assert!(edge - v <= v / 16, "edge too far above {v}: {edge}");
+            }
+            assert!(i < BUCKETS);
         }
     }
 

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench regression gate for the perf-tracking JSON summaries.
+
+Parses BENCH_qd_sweep.json (written by `cargo bench --bench qd_sweep`) and
+fails the build unless the device-internal parallelism holds:
+
+* QD32 throughput >= 2x QD1 for each model on the default 4-channel
+  geometry (the PR acceptance gate),
+* throughput rises monotonically with queue depth per model,
+* the rssd rows are not identical to the plain rows (RSSD's overhead is
+  real), and
+* p50 < p99 in at least one row (the log-linear histogram satellite).
+
+Also sanity-checks BENCH_array_scaling.json's 1 -> 4 shard monotonicity so
+the artifact uploaded by CI is never a regressed one.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_rows(name: str) -> dict:
+    path = ROOT / name
+    if not path.is_file():
+        sys.exit(f"FAIL: {name} missing - run `cargo bench --bench "
+                 f"{name.removeprefix('BENCH_').removesuffix('.json')}` first")
+    data = json.loads(path.read_text())
+    return {row["config"]: row for row in data["rows"]}
+
+
+def check_qd_sweep() -> list[str]:
+    rows = load_rows("BENCH_qd_sweep.json")
+    failures = []
+    depths = [1, 8, 32]
+    for model in ("plain", "rssd"):
+        tput = {}
+        for depth in depths:
+            config = f"{model}_qd{depth}"
+            if config not in rows:
+                failures.append(f"{config}: row missing from BENCH_qd_sweep.json")
+                continue
+            tput[depth] = rows[config]["throughput_kiops"]
+        if len(tput) != len(depths):
+            continue
+        if tput[32] < 2.0 * tput[1]:
+            failures.append(
+                f"{model}: QD32 must be >= 2x QD1 on the 4-channel default "
+                f"geometry (qd1 {tput[1]:.2f} kIOPS, qd32 {tput[32]:.2f} kIOPS)")
+        for lo, hi in zip(depths, depths[1:]):
+            if tput[hi] <= tput[lo]:
+                failures.append(
+                    f"{model}: throughput must rise with depth "
+                    f"(qd{lo} {tput[lo]:.2f} vs qd{hi} {tput[hi]:.2f} kIOPS)")
+    identical = all(
+        rows.get(f"plain_qd{d}", {}).get("sim_end_ms")
+        == rows.get(f"rssd_qd{d}", {}).get("sim_end_ms")
+        for d in depths)
+    if identical:
+        failures.append("rssd rows are byte-identical to plain at every depth "
+                        "- RSSD's overhead is not being modeled")
+    if not any(row.get("p50_us", 0) < row.get("p99_us", 0) for row in rows.values()):
+        failures.append("p50 == p99 in every row - the latency histogram has "
+                        "collapsed back to octave resolution")
+    return failures
+
+
+def check_array_scaling() -> list[str]:
+    rows = load_rows("BENCH_array_scaling.json")
+    failures = []
+    tputs = []
+    for shards in (1, 2, 4):
+        config = f"{shards}_shards"
+        if config not in rows:
+            failures.append(f"{config}: row missing from BENCH_array_scaling.json")
+            return failures
+        tputs.append((shards, rows[config]["throughput_kiops"]))
+    for (a_shards, a), (b_shards, b) in zip(tputs, tputs[1:]):
+        if b <= a:
+            failures.append(
+                f"array throughput must scale {a_shards} -> {b_shards} shards "
+                f"({a:.2f} vs {b:.2f} kIOPS)")
+    return failures
+
+
+def main() -> None:
+    failures = check_qd_sweep() + check_array_scaling()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        sys.exit(1)
+    print("bench regression gate: OK "
+          "(QD scaling >= 2x, monotonic, rssd != plain, p50 < p99)")
+
+
+if __name__ == "__main__":
+    main()
