@@ -636,7 +636,13 @@ impl<R: RemoteTarget> RssdDevice<R> {
         let now = self.ftl.clock().now_ns();
 
         match self.remote.store_segment(envelope, now) {
-            Ok(_ack) => {
+            Ok(ack) => {
+                // The ack's durability time carries any wire latency
+                // (serialization, propagation, retransmission) back onto
+                // the device timeline: offloading over a slow link costs
+                // simulated nanoseconds the host can observe. Loopback
+                // acks land at `now`, so this is a no-op off the wire.
+                self.ftl.clock().advance_to(ack.durable_at_ns);
                 // Durable remotely: unpin, index, account.
                 for rec in &segment.records {
                     if let Some(idx) = rec.old_page_index {

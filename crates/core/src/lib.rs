@@ -54,6 +54,7 @@ pub mod logrec;
 pub mod rebuild;
 pub mod recovery;
 pub mod remote_target;
+pub mod wire;
 
 pub use analysis::{AnalysisReport, AttackClass, PostAttackAnalyzer};
 pub use config::RssdConfig;
@@ -62,3 +63,4 @@ pub use logrec::{LogOp, LogRecord, Segment, SegmentEnvelope, WireError};
 pub use rebuild::{HarvestReport, RebuildImage};
 pub use recovery::{RecoveryEngine, RecoveryReport};
 pub use remote_target::{LoopbackTarget, RemoteError, RemoteTarget, StoreAck};
+pub use wire::{WireRemote, WireRemoteStats};

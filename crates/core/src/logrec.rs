@@ -262,9 +262,47 @@ pub struct SegmentEnvelope {
 }
 
 impl SegmentEnvelope {
+    /// Fixed header size of the canonical wire encoding:
+    /// `device_id (8) + segment_seq (8) + prev_chain_head (32) +
+    /// chain_head (32) + record_count (4)`.
+    pub const WIRE_HEADER: usize = 8 + 8 + 32 + 32 + 4;
+
     /// Approximate wire size in bytes.
     pub fn wire_bytes(&self) -> usize {
-        8 + 8 + 32 + 32 + 4 + self.sealed_payload.len()
+        Self::WIRE_HEADER + self.sealed_payload.len()
+    }
+
+    /// Canonical wire encoding: the [`SegmentEnvelope::WIRE_HEADER`] fields
+    /// little-endian, followed by the sealed payload. This is the byte
+    /// stream that NVMe-oE capsules fragment and carry — both `WireRemote`
+    /// on the device side and the remote log server speak exactly this.
+    pub fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.extend_from_slice(&self.device_id.to_le_bytes());
+        out.extend_from_slice(&self.segment_seq.to_le_bytes());
+        out.extend_from_slice(self.prev_chain_head.as_bytes());
+        out.extend_from_slice(self.chain_head.as_bytes());
+        out.extend_from_slice(&self.record_count.to_le_bytes());
+        out.extend_from_slice(&self.sealed_payload);
+        out
+    }
+
+    /// Decodes the canonical wire encoding. Returns `None` if `data` is
+    /// shorter than [`SegmentEnvelope::WIRE_HEADER`]. The sealed payload is
+    /// *not* authenticated here — tampering is caught by the secure
+    /// session's MAC when the payload is opened.
+    pub fn from_wire_bytes(data: &[u8]) -> Option<SegmentEnvelope> {
+        if data.len() < Self::WIRE_HEADER {
+            return None;
+        }
+        Some(SegmentEnvelope {
+            device_id: u64::from_le_bytes(data[..8].try_into().ok()?),
+            segment_seq: u64::from_le_bytes(data[8..16].try_into().ok()?),
+            prev_chain_head: Digest::from_bytes(data[16..48].try_into().ok()?),
+            chain_head: Digest::from_bytes(data[48..80].try_into().ok()?),
+            record_count: u32::from_le_bytes(data[80..84].try_into().ok()?),
+            sealed_payload: data[84..].to_vec(),
+        })
     }
 }
 
@@ -379,5 +417,36 @@ mod tests {
         let decoded = Segment::from_bytes(&seg.to_bytes()).unwrap();
         let chain_inputs: Vec<Vec<u8>> = decoded.records.iter().map(|r| r.chain_bytes()).collect();
         HashChain::verify_sequence(b"k", &chain_inputs, &decoded.links).unwrap();
+    }
+
+    #[test]
+    fn envelope_wire_round_trip() {
+        let envelope = SegmentEnvelope {
+            device_id: 7,
+            segment_seq: 42,
+            prev_chain_head: Digest::from_bytes([0xAA; 32]),
+            chain_head: Digest::from_bytes([0xBB; 32]),
+            record_count: 9,
+            sealed_payload: vec![1, 2, 3, 4, 5],
+        };
+        let wire = envelope.to_wire_bytes();
+        assert_eq!(wire.len(), envelope.wire_bytes());
+        assert_eq!(SegmentEnvelope::from_wire_bytes(&wire).unwrap(), envelope);
+    }
+
+    #[test]
+    fn envelope_wire_rejects_short_input() {
+        assert!(SegmentEnvelope::from_wire_bytes(&[0; SegmentEnvelope::WIRE_HEADER - 1]).is_none());
+        let empty = SegmentEnvelope {
+            device_id: 0,
+            segment_seq: 0,
+            prev_chain_head: Digest::from_bytes([0; 32]),
+            chain_head: Digest::from_bytes([0; 32]),
+            record_count: 0,
+            sealed_payload: Vec::new(),
+        };
+        // A header with no payload is the minimum valid envelope.
+        let decoded = SegmentEnvelope::from_wire_bytes(&empty.to_wire_bytes()).unwrap();
+        assert!(decoded.sealed_payload.is_empty());
     }
 }

@@ -46,9 +46,11 @@ pub struct StoreAck {
     pub durable_at_ns: u64,
 }
 
-/// The remote log store the device offloads to. Implemented over the real
-/// NVMe-oE fabric by `rssd-remote`; [`LoopbackTarget`] provides an
-/// in-process implementation for tests.
+/// The remote log store the device offloads to. [`LoopbackTarget`] provides
+/// an in-process implementation for tests;
+/// [`WireRemote`](crate::wire::WireRemote) carries every segment over the
+/// simulated NVMe-oE fabric to whatever target it wraps (including the real
+/// log server in `rssd-remote`).
 pub trait RemoteTarget {
     /// Durably stores an envelope after verifying chain continuity.
     ///

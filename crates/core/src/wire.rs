@@ -1,0 +1,513 @@
+//! The offload path on the wire: a [`RemoteTarget`] adapter that carries
+//! every segment envelope over the simulated NVMe-oE fabric.
+//!
+//! [`WireRemote`] is the controller-side bridge between the offload engine
+//! and the network stack. Where [`LoopbackTarget`](crate::LoopbackTarget)
+//! hands envelopes to the store by function call, `WireRemote` serializes
+//! them with [`SegmentEnvelope::to_wire_bytes`], fragments them into NVMe-oE
+//! capsules, and pushes them through `Nic` → `SimLink` → remote NIC with
+//! go-back-N retransmission — so link bandwidth, propagation delay, loss and
+//! queueing consume real nanoseconds on the device's simulated timeline.
+//! The sealed payload inside the envelope was already encrypted and MAC'd by
+//! the device's `SecureSession` before it got here; the wire never carries
+//! plaintext log data.
+//!
+//! Network faults are expressed as *link conditions*, not injected results:
+//!
+//! * [`WireRemote::set_uplink_down`] blackholes frames; the transport
+//!   exhausts its stall budget and the offload engine sees
+//!   [`RemoteError::Unreachable`] — exactly what `FaultyRemote`'s `Refuse`
+//!   mode used to fake.
+//! * With [`WireRemote::set_store_and_forward`], a down link instead acks
+//!   and buffers at the edge; [`WireRemote::heal`] replays the buffer over
+//!   the restored wire in order (`QueueForReplay`).
+//! * [`WireRemote::set_ingest_drop`] models a collector that acknowledges
+//!   the transfer but loses the segment before durability
+//!   (`DropSilently`) — the chain gap surfaces only at
+//!   `verified_history`/rebuild time.
+//!
+//! Hardware isolation stays structural: this type lives behind the
+//! [`RemoteTarget`] trait inside the controller. The host-facing
+//! `BlockDevice` API exposes neither `WireRemote` nor any `rssd-net` type.
+
+use crate::logrec::SegmentEnvelope;
+use crate::remote_target::{RemoteError, RemoteTarget, StoreAck};
+use rssd_net::{LinkConfig, NvmeOeEndpoint, SharedLink, TransferStats};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Wire-level fault/outcome counters, mirroring `RemoteFaultStats` so the
+/// scenario matrix can score wire-expressed faults with the same
+/// invariants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
+pub struct WireRemoteStats {
+    /// Transfers that exhausted the stall budget with store-and-forward
+    /// disabled: surfaced to the engine as [`RemoteError::Unreachable`].
+    pub transfers_refused: u64,
+    /// Envelopes acked at the edge and buffered while the link was down.
+    pub relay_acked: u64,
+    /// Buffered envelopes successfully replayed over the healed wire.
+    pub relay_replayed: u64,
+    /// Envelopes the collector acked in transport but lost before
+    /// durability.
+    pub ingest_dropped: u64,
+}
+
+/// A [`RemoteTarget`] whose every segment crosses the simulated NVMe-oE
+/// fabric before reaching the wrapped target `R`.
+///
+/// The inner target receives exactly the bytes the wire delivered — decoded
+/// back into a [`SegmentEnvelope`] — at the simulated time the transfer
+/// completed, so offload acks carry real network latency back to the
+/// device clock.
+#[derive(Clone, Debug)]
+pub struct WireRemote<R: RemoteTarget> {
+    fabric: NvmeOeEndpoint,
+    remote: R,
+    max_stall_rounds: u32,
+    /// Store-and-forward buffer: `(envelope, enqueue_ns)` in arrival order.
+    relay: VecDeque<(SegmentEnvelope, u64)>,
+    relay_enabled: bool,
+    ingest_drop: bool,
+    stats: WireRemoteStats,
+}
+
+impl<R: RemoteTarget> WireRemote<R> {
+    /// Consecutive no-progress retransmission rounds before a transfer is
+    /// declared failed (each round waits out one RTO).
+    pub const DEFAULT_MAX_STALL_ROUNDS: u32 = 4;
+
+    /// Wraps `remote` behind a private fabric with symmetric `link`s.
+    pub fn new(remote: R, link: LinkConfig) -> Self {
+        Self::with_fabric(remote, NvmeOeEndpoint::new(link))
+    }
+
+    /// Wraps `remote` behind a fabric whose device → remote direction is
+    /// the (possibly shared) `uplink`. N devices built over clones of the
+    /// same uplink queue behind each other's serialization time — the
+    /// shared-uplink array topology.
+    pub fn with_uplink(remote: R, uplink: SharedLink, return_link: LinkConfig) -> Self {
+        Self::with_fabric(remote, NvmeOeEndpoint::with_uplink(uplink, return_link))
+    }
+
+    /// Wraps `remote` behind an existing fabric.
+    pub fn with_fabric(remote: R, fabric: NvmeOeEndpoint) -> Self {
+        WireRemote {
+            fabric,
+            remote,
+            max_stall_rounds: Self::DEFAULT_MAX_STALL_ROUNDS,
+            relay: VecDeque::new(),
+            relay_enabled: false,
+            ingest_drop: false,
+            stats: WireRemoteStats::default(),
+        }
+    }
+
+    /// Overrides the stall budget.
+    pub fn set_max_stall_rounds(&mut self, rounds: u32) {
+        self.max_stall_rounds = rounds.max(1);
+    }
+
+    /// Takes the uplink down (`true`) or restores it (`false`). While
+    /// down, transfers serialize into the void until the stall budget
+    /// exhausts — the wire expression of a network partition.
+    pub fn set_uplink_down(&mut self, down: bool) {
+        self.fabric.set_link_down(down);
+    }
+
+    /// Whether the uplink is currently down.
+    pub fn is_uplink_down(&self) -> bool {
+        self.fabric.is_link_down()
+    }
+
+    /// Enables store-and-forward: failed transfers are acked at the edge
+    /// and buffered for [`WireRemote::heal`] instead of surfacing
+    /// [`RemoteError::Unreachable`].
+    pub fn set_store_and_forward(&mut self, enabled: bool) {
+        self.relay_enabled = enabled;
+    }
+
+    /// Simulates a collector that acks the transport but loses segments
+    /// before durability. Drops are detectable only at
+    /// `verified_history`/rebuild time — the transport ack looks genuine.
+    pub fn set_ingest_drop(&mut self, drop: bool) {
+        self.ingest_drop = drop;
+    }
+
+    /// Restores the link, clears fault modes, and replays the
+    /// store-and-forward buffer over the live wire in order. Stops (and
+    /// re-buffers the remainder) on the first failure. Returns the number
+    /// replayed. Safe no-op when healthy with an empty buffer.
+    pub fn heal(&mut self) -> u64 {
+        self.fabric.set_link_down(false);
+        self.relay_enabled = false;
+        self.ingest_drop = false;
+        let mut replayed = 0u64;
+        while let Some((envelope, now_ns)) = self.relay.pop_front() {
+            match self.transfer_and_store(envelope.clone(), now_ns) {
+                Ok(_) => {
+                    replayed += 1;
+                    self.stats.relay_replayed += 1;
+                }
+                Err(_) => {
+                    self.relay.push_front((envelope, now_ns));
+                    break;
+                }
+            }
+        }
+        replayed
+    }
+
+    /// Wire-level fault/outcome counters.
+    pub fn stats(&self) -> WireRemoteStats {
+        self.stats
+    }
+
+    /// Protocol counters from the underlying fabric (capsules,
+    /// retransmissions, goodput).
+    pub fn transfer_stats(&self) -> TransferStats {
+        self.fabric.stats()
+    }
+
+    /// A handle to the device → remote uplink (cloning shares the wire).
+    pub fn uplink(&self) -> SharedLink {
+        self.fabric.uplink()
+    }
+
+    /// Envelopes currently buffered awaiting heal.
+    pub fn queued_segments(&self) -> usize {
+        self.relay.len()
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &R {
+        &self.remote
+    }
+
+    /// Mutable access to the wrapped target.
+    pub fn inner_mut(&mut self) -> &mut R {
+        &mut self.remote
+    }
+
+    /// Carries `envelope` over the fabric and stores whatever the wire
+    /// delivered into the inner target at the delivery time.
+    fn transfer_and_store(
+        &mut self,
+        envelope: SegmentEnvelope,
+        now_ns: u64,
+    ) -> Result<StoreAck, RemoteError> {
+        let segment_seq = envelope.segment_seq;
+        let wire = envelope.to_wire_bytes();
+        let (arrival_ns, delivered) = self
+            .fabric
+            .try_transfer_segment(segment_seq, &wire, now_ns, self.max_stall_rounds)
+            .map_err(|_| RemoteError::Unreachable)?;
+        let delivered = SegmentEnvelope::from_wire_bytes(&delivered)
+            .expect("reliable fabric delivers the encoded envelope intact");
+        if self.ingest_drop {
+            // The transport acked; the collector lost the segment before
+            // durability. The device unpins its local copy believing the
+            // evidence is safe — the gap emerges at verification time.
+            self.stats.ingest_dropped += 1;
+            return Ok(StoreAck {
+                segment_seq,
+                durable_at_ns: arrival_ns,
+            });
+        }
+        self.remote.store_segment(delivered, arrival_ns)
+    }
+}
+
+impl<R: RemoteTarget> RemoteTarget for WireRemote<R> {
+    fn store_segment(
+        &mut self,
+        envelope: SegmentEnvelope,
+        now_ns: u64,
+    ) -> Result<StoreAck, RemoteError> {
+        let segment_seq = envelope.segment_seq;
+        match self.transfer_and_store(envelope.clone(), now_ns) {
+            Ok(ack) => Ok(ack),
+            Err(RemoteError::Unreachable) if self.relay_enabled => {
+                // Edge relay: ack now, deliver after heal.
+                self.stats.relay_acked += 1;
+                self.relay.push_back((envelope, now_ns));
+                Ok(StoreAck {
+                    segment_seq,
+                    durable_at_ns: now_ns,
+                })
+            }
+            Err(RemoteError::Unreachable) => {
+                self.stats.transfers_refused += 1;
+                Err(RemoteError::Unreachable)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    fn fetch_segment(&mut self, segment_seq: u64) -> Result<SegmentEnvelope, RemoteError> {
+        // Read-back is bulk recovery traffic; we model it as instantaneous
+        // (the recovery window is dominated by the offload direction).
+        if let Some((envelope, _)) = self
+            .relay
+            .iter()
+            .find(|(e, _)| e.segment_seq == segment_seq)
+        {
+            return Ok(envelope.clone());
+        }
+        if self.is_uplink_down() {
+            return Err(RemoteError::Unreachable);
+        }
+        self.remote.fetch_segment(segment_seq)
+    }
+
+    fn stored_segments(&self) -> Vec<u64> {
+        let mut seqs = self.remote.stored_segments();
+        seqs.extend(self.relay.iter().map(|(e, _)| e.segment_seq));
+        seqs.sort_unstable();
+        seqs.dedup();
+        seqs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote_target::LoopbackTarget;
+    use rssd_crypto::Digest;
+
+    fn digest(b: u8) -> Digest {
+        Digest::from_bytes([b; 32])
+    }
+
+    fn envelope(seq: u64, prev: Digest, head: Digest) -> SegmentEnvelope {
+        SegmentEnvelope {
+            device_id: 1,
+            segment_seq: seq,
+            prev_chain_head: prev,
+            chain_head: head,
+            record_count: 3,
+            sealed_payload: vec![seq as u8; 2048],
+        }
+    }
+
+    fn chain(n: u64) -> Vec<SegmentEnvelope> {
+        (0..n)
+            .map(|i| {
+                let prev = if i == 0 {
+                    Digest::ZERO
+                } else {
+                    digest(i as u8)
+                };
+                envelope(i, prev, digest(i as u8 + 1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ideal_link_matches_direct_path_exactly() {
+        let mut direct = LoopbackTarget::new();
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::ideal());
+        for (i, env) in chain(5).into_iter().enumerate() {
+            let now = 1_000 * i as u64;
+            let a = direct.store_segment(env.clone(), now).unwrap();
+            let b = wired.store_segment(env, now).unwrap();
+            assert_eq!(a, b, "ideal wire must be invisible in acks");
+        }
+        assert_eq!(direct.stored_segments(), wired.stored_segments());
+        for seq in direct.stored_segments() {
+            assert_eq!(
+                direct.fetch_segment(seq).unwrap(),
+                wired.fetch_segment(seq).unwrap()
+            );
+        }
+        assert_eq!(wired.transfer_stats().segments, 5);
+        assert_eq!(wired.transfer_stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn real_link_time_lands_in_the_ack() {
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::datacenter_10g());
+        let ack = wired.store_segment(chain(1).remove(0), 0).unwrap();
+        // 2 kB + capsule/frame overhead at 1.25 GB/s ≥ 1.6 us, plus
+        // propagation both ways.
+        assert!(ack.durable_at_ns >= 1_600, "ack at {}", ack.durable_at_ns);
+    }
+
+    #[test]
+    fn down_link_is_unreachable_without_relay() {
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::datacenter_10g());
+        wired.set_uplink_down(true);
+        let err = wired.store_segment(chain(1).remove(0), 0).unwrap_err();
+        assert_eq!(err, RemoteError::Unreachable);
+        assert_eq!(wired.stats().transfers_refused, 1);
+        assert!(wired.stored_segments().is_empty());
+        assert!(
+            wired.uplink().frames_blackholed() > 0,
+            "frames hit the void"
+        );
+        assert_eq!(
+            wired.fetch_segment(0),
+            Err(RemoteError::Unreachable),
+            "fetch during partition fails too"
+        );
+    }
+
+    #[test]
+    fn store_and_forward_buffers_then_replays_over_healed_wire() {
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::datacenter_10g());
+        wired.set_uplink_down(true);
+        wired.set_store_and_forward(true);
+        let envs = chain(3);
+        for (i, env) in envs.iter().enumerate() {
+            let ack = wired.store_segment(env.clone(), i as u64).unwrap();
+            assert_eq!(ack.durable_at_ns, i as u64, "edge ack carries no wire time");
+        }
+        assert_eq!(wired.queued_segments(), 3);
+        assert_eq!(wired.stats().relay_acked, 3);
+        assert!(
+            wired.inner().stored_segments().is_empty(),
+            "nothing crossed"
+        );
+        // Buffered segments are visible and fetchable during the partition.
+        assert_eq!(wired.stored_segments(), vec![0, 1, 2]);
+        assert_eq!(wired.fetch_segment(1).unwrap(), envs[1]);
+
+        assert_eq!(wired.heal(), 3);
+        assert_eq!(wired.stats().relay_replayed, 3);
+        assert_eq!(wired.queued_segments(), 0);
+        assert_eq!(wired.inner().stored_segments(), vec![0, 1, 2]);
+        assert!(
+            wired.transfer_stats().segments >= 3,
+            "replay went over the real wire"
+        );
+    }
+
+    #[test]
+    fn ingest_drop_acks_but_loses_the_segment() {
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::datacenter_10g());
+        let envs = chain(2);
+        wired.set_ingest_drop(true);
+        wired.store_segment(envs[0].clone(), 0).unwrap();
+        wired.set_ingest_drop(false);
+        wired.store_segment(envs[1].clone(), 1).unwrap();
+        assert_eq!(wired.stats().ingest_dropped, 1);
+        // Segment 0 vanished after a genuine-looking ack; the hole is only
+        // observable downstream (verification / rebuild walk).
+        assert_eq!(wired.stored_segments(), vec![1]);
+        assert_eq!(wired.fetch_segment(0), Err(RemoteError::NoSuchSegment(0)));
+    }
+
+    #[test]
+    fn heal_is_a_safe_noop_when_healthy() {
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::datacenter_10g());
+        assert_eq!(wired.heal(), 0);
+        wired.store_segment(chain(1).remove(0), 0).unwrap();
+        assert_eq!(wired.heal(), 0);
+        assert_eq!(wired.stored_segments(), vec![0]);
+    }
+
+    mod device_over_wire {
+        use super::*;
+        use crate::config::RssdConfig;
+        use crate::device::RssdDevice;
+        use rssd_flash::{FlashGeometry, NandTiming, SimClock};
+        use rssd_ssd::{BlockDevice, DeviceError};
+
+        fn device(link: LinkConfig) -> RssdDevice<WireRemote<LoopbackTarget>> {
+            RssdDevice::new(
+                FlashGeometry::small_test(),
+                NandTiming::instant(),
+                SimClock::new(),
+                RssdConfig {
+                    segment_pages: 8,
+                    ..RssdConfig::default()
+                },
+                WireRemote::new(LoopbackTarget::new(), link),
+            )
+        }
+
+        fn page(b: u8) -> Vec<u8> {
+            vec![b; 4096]
+        }
+
+        #[test]
+        fn offload_works_end_to_end_over_the_wire() {
+            let mut d = device(LinkConfig::datacenter_10g());
+            d.write_page(3, page(1)).unwrap();
+            d.write_page(3, page(2)).unwrap();
+            d.flush_log().unwrap();
+            assert!(d.offload_stats().segments_offloaded > 0);
+            assert!(
+                d.remote().transfer_stats().payload_bytes > 0,
+                "segments crossed as capsules, not function calls"
+            );
+            assert_eq!(d.recover_page(3).unwrap(), page(1));
+        }
+
+        #[test]
+        fn slow_uplink_backpressure_is_host_visible() {
+            let slow = LinkConfig {
+                bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s
+                propagation_delay_ns: 0,
+                loss_period: 0,
+            };
+            let mut fast_dev = device(LinkConfig::ideal());
+            let mut slow_dev = device(slow);
+            for d in [&mut fast_dev, &mut slow_dev] {
+                d.write_page(3, page(1)).unwrap();
+                d.write_page(3, page(2)).unwrap();
+                d.flush_log().unwrap();
+            }
+            let sealed = slow_dev.offload_stats().sealed_bytes;
+            assert!(sealed > 0);
+            // 1 MB/s ⇒ each sealed byte costs ≥ 1 us of simulated time,
+            // and that time must land on the device clock.
+            let min_wire_ns = sealed * 1_000;
+            let slow_now = slow_dev.clock().now_ns();
+            let fast_now = fast_dev.clock().now_ns();
+            assert!(
+                slow_now >= fast_now + min_wire_ns,
+                "slow uplink must cost the device clock: slow {slow_now} \
+                 fast {fast_now} wire {min_wire_ns}"
+            );
+        }
+
+        #[test]
+        fn dead_uplink_stalls_writes_instead_of_dropping_evidence() {
+            let mut d = device(LinkConfig::datacenter_10g());
+            d.remote_mut().set_max_stall_rounds(1);
+            d.remote_mut().set_uplink_down(true);
+            let mut stalled = false;
+            // Fill the small device; with the remote unreachable the pinned
+            // pages can never drain, so the write path must stall rather
+            // than drop retained data.
+            for i in 0..4096u64 {
+                match d.write_page(i % 64, page((i % 251) as u8)) {
+                    Ok(_) => {}
+                    Err(DeviceError::Stalled) => {
+                        stalled = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error: {e:?}"),
+                }
+            }
+            assert!(stalled, "dead wire must surface as backpressure");
+            assert!(d.offload_stats().offload_failures > 0);
+            assert!(d.remote().stats().transfers_refused > 0);
+            assert!(d.remote().inner().stored_segments().is_empty());
+        }
+    }
+
+    #[test]
+    fn chain_discontinuity_passes_through_the_wire() {
+        let mut wired = WireRemote::new(LoopbackTarget::new(), LinkConfig::datacenter_10g());
+        wired
+            .store_segment(envelope(0, Digest::ZERO, digest(1)), 0)
+            .unwrap();
+        let err = wired
+            .store_segment(envelope(1, digest(9), digest(2)), 1)
+            .unwrap_err();
+        assert!(matches!(err, RemoteError::ChainDiscontinuity { .. }));
+    }
+}

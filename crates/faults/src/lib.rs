@@ -49,7 +49,9 @@ pub use injector::{FaultInjector, TornBatch};
 pub use remote::{FaultyRemote, PartitionMode, PermissiveTarget, RemoteFaultStats};
 pub use scenario::{ActorKind, FaultPlan, Scenario, ScenarioMatrix, Scorecard, Topology};
 pub use schedule::{FaultEvent, FaultSchedule};
-pub use target::{scenario_member, FaultError, FaultRemote, FaultTarget, PowerRestoreReport};
+pub use target::{
+    scenario_member, scenario_member_with, FaultError, FaultRemote, FaultTarget, PowerRestoreReport,
+};
 
 // Re-exported so scorecard consumers can match verdicts without another dep.
 pub use rssd_detect::Verdict;

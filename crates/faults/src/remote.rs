@@ -33,7 +33,10 @@ pub enum PartitionMode {
     Refuse,
     /// Offloads are acked and buffered, then replayed in order on heal.
     QueueForReplay,
-    /// Offloads are acked and lost — the chain-gap case.
+    /// Offloads are acked and lost — the chain-gap case. The ack looks
+    /// genuine, so the drop is **not** detectable at offload time: it
+    /// surfaces only when `verified_history`/`audit_history`/harvest walk
+    /// the evidence chain and refuse the gap (DESIGN.md §6).
     DropSilently,
 }
 

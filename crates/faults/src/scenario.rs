@@ -31,13 +31,14 @@
 use crate::injector::FaultInjector;
 use crate::remote::{FaultyRemote, PartitionMode, PermissiveTarget};
 use crate::schedule::FaultSchedule;
-use crate::target::{scenario_member, FaultError, FaultTarget};
+use crate::target::{scenario_member, scenario_member_with, FaultError, FaultTarget};
 use rssd_array::RssdArray;
 use rssd_attacks::{ClassicRansomware, FileTable, GcAttack, TimingAttack, TrimAttack};
 use rssd_bench::BenchRow;
-use rssd_core::{LoopbackTarget, PostAttackAnalyzer, RssdDevice};
+use rssd_core::{LoopbackTarget, PostAttackAnalyzer, RssdDevice, WireRemote};
 use rssd_detect::Verdict;
 use rssd_flash::SimClock;
+use rssd_net::{LinkConfig, SharedLink};
 use rssd_ssd::{DeviceError, NvmeController, QueueId};
 use rssd_trace::{replay_fanout, IoRecord, ReplayOutcome, TraceProfile};
 use serde::{Deserialize, Serialize};
@@ -77,6 +78,17 @@ pub enum Topology {
         /// Stripe width in pages.
         stripe_pages: u64,
     },
+    /// A striped array whose members all offload through **one shared
+    /// NVMe-oE uplink** to a common remote: N devices funnel into a single
+    /// wire, so concurrent offloads queue behind each other's serialization
+    /// time. Only runnable through the wire pipeline
+    /// ([`Scenario::run_wire`] / [`Scenario::run`]).
+    SharedUplink {
+        /// Member count.
+        shards: usize,
+        /// Stripe width in pages.
+        stripe_pages: u64,
+    },
 }
 
 impl Topology {
@@ -86,6 +98,7 @@ impl Topology {
             Topology::Bare => "bare".to_string(),
             Topology::MultiQueue { queues, depth } => format!("mq{queues}x{depth}"),
             Topology::Array { shards, .. } => format!("array{shards}"),
+            Topology::SharedUplink { shards, .. } => format!("uplink{shards}"),
         }
     }
 
@@ -93,13 +106,13 @@ impl Topology {
         match self {
             Topology::Bare => (1, 1),
             Topology::MultiQueue { queues, depth } => (*queues, *depth),
-            Topology::Array { .. } => (2, 8),
+            Topology::Array { .. } | Topology::SharedUplink { .. } => (2, 8),
         }
     }
 
     fn shards(&self) -> usize {
         match self {
-            Topology::Array { shards, .. } => *shards,
+            Topology::Array { shards, .. } | Topology::SharedUplink { shards, .. } => *shards,
             _ => 1,
         }
     }
@@ -277,6 +290,61 @@ impl Scenario {
                 let array = RssdArray::new(members, stripe_pages, SimClock::new());
                 run_cell(FaultInjector::new(array, &FaultSchedule::none()), self)
             }
+            // A shared uplink only exists on the wire.
+            Topology::SharedUplink { .. } => self.run_wire(LinkConfig::datacenter_10g()),
+        }
+    }
+
+    /// Runs the cell through the **wire pipeline**: members over
+    /// [`WireRemote`]<[`PermissiveTarget`]> wrapped in a [`FaultInjector`],
+    /// so every offloaded segment crosses the simulated NVMe-oE fabric with
+    /// `link`'s bandwidth/propagation/loss, and the cell's partition plan
+    /// becomes link blackouts and collector drops instead of injected
+    /// results. [`Topology::SharedUplink`] members offload through clones
+    /// of one [`SharedLink`]; other topologies get private uplinks.
+    ///
+    /// With [`LinkConfig::ideal`] this pipeline is byte-identical to
+    /// [`Scenario::run`] for fault-free cells — the equivalence suite's
+    /// anchor.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError`] when the harness itself cannot proceed (never for a
+    /// fault the schedule injected — those are scored, not errored).
+    pub fn run_wire(&self, link: LinkConfig) -> Result<Scorecard, FaultError> {
+        type Remote = WireRemote<PermissiveTarget>;
+        let member = |id: u64, remote: Remote| scenario_member_with(id, remote);
+        match self.topology {
+            Topology::Bare | Topology::MultiQueue { .. } => {
+                let device = member(1, WireRemote::new(PermissiveTarget::new(), link));
+                run_cell(FaultInjector::new(device, &FaultSchedule::none()), self)
+            }
+            Topology::Array {
+                shards,
+                stripe_pages,
+            } => {
+                let members: Vec<RssdDevice<Remote>> = (0..shards as u64)
+                    .map(|i| member(i, WireRemote::new(PermissiveTarget::new(), link)))
+                    .collect();
+                let array = RssdArray::new(members, stripe_pages, SimClock::new());
+                run_cell(FaultInjector::new(array, &FaultSchedule::none()), self)
+            }
+            Topology::SharedUplink {
+                shards,
+                stripe_pages,
+            } => {
+                let uplink = SharedLink::new(link);
+                let members: Vec<RssdDevice<Remote>> = (0..shards as u64)
+                    .map(|i| {
+                        member(
+                            i,
+                            WireRemote::with_uplink(PermissiveTarget::new(), uplink.clone(), link),
+                        )
+                    })
+                    .collect();
+                let array = RssdArray::new(members, stripe_pages, SimClock::new());
+                run_cell(FaultInjector::new(array, &FaultSchedule::none()), self)
+            }
         }
     }
 
@@ -295,6 +363,11 @@ impl Scenario {
                 "the direct pipeline cannot inject faults; use run()".to_string(),
             ));
         }
+        if matches!(self.topology, Topology::SharedUplink { .. }) {
+            return Err(FaultError::Scenario(
+                "a shared uplink only exists on the wire; use run_wire()".to_string(),
+            ));
+        }
         match self.topology {
             Topology::Bare | Topology::MultiQueue { .. } => {
                 let device: RssdDevice<LoopbackTarget> = scenario_member(1);
@@ -308,6 +381,7 @@ impl Scenario {
                     (0..shards as u64).map(scenario_member).collect();
                 run_cell(RssdArray::new(members, stripe_pages, SimClock::new()), self)
             }
+            Topology::SharedUplink { .. } => unreachable!("rejected above"),
         }
     }
 }

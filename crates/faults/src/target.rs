@@ -14,8 +14,11 @@
 use crate::remote::{FaultyRemote, PartitionMode, PermissiveTarget, RemoteFaultStats};
 use crate::schedule::FaultSchedule;
 use rssd_array::{ArrayError, RssdArray, ShardStatus};
-use rssd_core::{HistoryAudit, LoopbackTarget, OffloadStats, RemoteTarget, RssdConfig, RssdDevice};
+use rssd_core::{
+    HistoryAudit, LoopbackTarget, OffloadStats, RemoteTarget, RssdConfig, RssdDevice, WireRemote,
+};
 use rssd_flash::{FlashGeometry, NandTiming, SimClock};
+use rssd_net::LinkConfig;
 use rssd_ssd::BlockDevice;
 use serde::{Deserialize, Serialize};
 
@@ -153,6 +156,51 @@ impl<R: RemoteTarget + FaultRemote> FaultRemote for FaultyRemote<R> {
     }
 }
 
+/// The wire expression of the fault matrix: every [`PartitionMode`] maps
+/// onto a link condition of the NVMe-oE fabric instead of an injected
+/// result, so chain gaps and replay are emergent protocol behavior.
+///
+/// * `Refuse` → uplink blackout, no edge relay: transfers exhaust their
+///   stall budget and surface `Unreachable`.
+/// * `QueueForReplay` → uplink blackout with a store-and-forward edge
+///   relay; heal replays the buffer over the restored wire.
+/// * `DropSilently` → the link is fine but the collector acks and loses
+///   segments before durability.
+impl<R: RemoteTarget + FaultRemote> FaultRemote for WireRemote<R> {
+    fn fresh() -> Self {
+        WireRemote::new(R::fresh(), LinkConfig::datacenter_10g())
+    }
+
+    fn set_partition(&mut self, mode: PartitionMode) -> bool {
+        match mode {
+            PartitionMode::Refuse => {
+                self.set_uplink_down(true);
+                self.set_store_and_forward(false);
+            }
+            PartitionMode::QueueForReplay => {
+                self.set_uplink_down(true);
+                self.set_store_and_forward(true);
+            }
+            PartitionMode::DropSilently => self.set_ingest_drop(true),
+        }
+        true
+    }
+
+    fn heal(&mut self) -> u64 {
+        WireRemote::heal(self)
+    }
+
+    fn fault_stats(&self) -> RemoteFaultStats {
+        let s = self.stats();
+        RemoteFaultStats {
+            offloads_refused: s.transfers_refused,
+            offloads_queued: s.relay_acked,
+            offloads_replayed: s.relay_replayed,
+            offloads_dropped: s.ingest_dropped,
+        }
+    }
+}
+
 /// The geometry scenario members (and their replacements) are built with.
 pub(crate) const MEMBER_CAPACITY_BYTES: u64 = 4 * 1024 * 1024;
 
@@ -163,6 +211,17 @@ pub(crate) const MEMBER_CAPACITY_BYTES: u64 = 4 * 1024 * 1024;
 /// retained pages) so the window of pending, fault-vulnerable retention is
 /// tight — the scenario matrix measures exactly what that window costs.
 pub fn scenario_member<R: FaultRemote>(device_id: u64) -> RssdDevice<R> {
+    scenario_member_with(device_id, R::fresh())
+}
+
+/// [`scenario_member`] with an explicit, caller-built remote — used by the
+/// shared-uplink topology, where every member's [`WireRemote`] must be
+/// constructed over a clone of the *same* [`SharedLink`](rssd_net::SharedLink)
+/// so their offloads queue behind each other on one wire. Replacement
+/// shards built via [`FaultTarget::revive_dead_shards`] still use
+/// [`scenario_member`], i.e. a fresh private uplink: a replacement drive
+/// gets recabled, not spliced into the dead one's wire.
+pub fn scenario_member_with<R: RemoteTarget>(device_id: u64, remote: R) -> RssdDevice<R> {
     RssdDevice::new(
         FlashGeometry::with_capacity(MEMBER_CAPACITY_BYTES),
         NandTiming::instant(),
@@ -172,7 +231,7 @@ pub fn scenario_member<R: FaultRemote>(device_id: u64) -> RssdDevice<R> {
             segment_pages: 4,
             ..RssdConfig::default()
         },
-        R::fresh(),
+        remote,
     )
 }
 

@@ -1,0 +1,257 @@
+//! The ideal-link equivalence suite: with infinite bandwidth and zero
+//! loss, routing offload through the simulated NVMe-oE stack must be
+//! *invisible* — byte-identical durable state, chain records, recovery and
+//! harvest results to the direct `RemoteTarget` path, bare and behind the
+//! `FaultInjector`, and byte-identical scenario scorecards including the
+//! partition cells (whose faults the wire pipeline expresses as link
+//! blackouts and collector drops instead of injected results).
+//!
+//! This is what licenses the wire model: every nanosecond and every
+//! failure a real link adds is then a *measured departure* from a pinned
+//! baseline, not an artifact of a second code path.
+
+use proptest::prelude::*;
+use rssd_core::{LoopbackTarget, RebuildImage, RemoteTarget, RssdConfig, RssdDevice, WireRemote};
+use rssd_faults::{
+    ActorKind, FaultInjector, FaultPlan, FaultSchedule, FaultTarget, Scenario, Topology,
+};
+use rssd_flash::{FlashGeometry, NandTiming, SimClock};
+use rssd_net::LinkConfig;
+use rssd_ssd::{BlockDevice, DeviceError};
+
+const CAPACITY: u64 = 4 * 1024 * 1024;
+
+fn direct_device() -> RssdDevice<LoopbackTarget> {
+    RssdDevice::new(
+        FlashGeometry::with_capacity(CAPACITY),
+        NandTiming::instant(),
+        SimClock::new(),
+        RssdConfig {
+            segment_pages: 4,
+            ..RssdConfig::default()
+        },
+        LoopbackTarget::new(),
+    )
+}
+
+fn wired_device() -> RssdDevice<WireRemote<LoopbackTarget>> {
+    RssdDevice::new(
+        FlashGeometry::with_capacity(CAPACITY),
+        NandTiming::instant(),
+        SimClock::new(),
+        RssdConfig {
+            segment_pages: 4,
+            ..RssdConfig::default()
+        },
+        WireRemote::new(LoopbackTarget::new(), LinkConfig::ideal()),
+    )
+}
+
+/// One host-visible operation, drawn by proptest.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Write(u64, u8),
+    Trim(u64),
+    Flush,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u64>(), any::<u8>()).prop_map(|(l, b)| Op::Write(l, b)),
+        2 => any::<u64>().prop_map(Op::Trim),
+        1 => Just(Op::Flush),
+    ]
+}
+
+/// Applies `op` to a device, returning a comparable outcome tag.
+fn apply<D: BlockDevice>(device: &mut D, op: Op) -> Result<(), DeviceError> {
+    let pages = device.logical_pages();
+    let page_size = device.page_size();
+    match op {
+        Op::Write(lpa, byte) => device.write_page(lpa % pages, vec![byte; page_size]),
+        Op::Trim(lpa) => device.trim_page(lpa % pages),
+        Op::Flush => device.flush(),
+    }
+}
+
+/// Asserts the two remotes hold byte-identical envelope sets.
+fn assert_remotes_identical<A: RemoteTarget, B: RemoteTarget>(a: &mut A, b: &mut B) {
+    assert_eq!(a.stored_segments(), b.stored_segments());
+    for seq in a.stored_segments() {
+        assert_eq!(
+            a.fetch_segment(seq).unwrap(),
+            b.fetch_segment(seq).unwrap(),
+            "segment {seq} differs between direct and wire paths"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bare equivalence: same ops in, identical durable state, history,
+    /// recovery and harvest out.
+    #[test]
+    fn ideal_wire_is_byte_identical_bare(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+    ) {
+        let mut direct = direct_device();
+        let mut wired = wired_device();
+        for &op in &ops {
+            let a = apply(&mut direct, op);
+            let b = apply(&mut wired, op);
+            prop_assert_eq!(a, b, "op {:?} diverged", op);
+        }
+        direct.flush_log().ok();
+        wired.flush_log().ok();
+
+        // Same simulated time: the ideal wire consumed zero nanoseconds.
+        prop_assert_eq!(direct.clock().now_ns(), wired.clock().now_ns());
+        // Same chain, same records.
+        prop_assert_eq!(direct.chain_head(), wired.chain_head());
+        prop_assert_eq!(
+            direct.verified_history().unwrap(),
+            wired.verified_history().unwrap()
+        );
+        // Same durable bytes remotely.
+        assert_remotes_identical(direct.remote_mut(), wired.remote_mut());
+        // Same per-page recovery answers.
+        for lpa in 0..direct.logical_pages() {
+            prop_assert_eq!(direct.recover_page(lpa), wired.recover_page(lpa));
+        }
+        // Same rebuild harvest (fetched back *through the wire*).
+        let keys = direct.escrow_keys();
+        let image_direct = RebuildImage::harvest(&keys, direct.remote_mut()).unwrap();
+        let image_wired = RebuildImage::harvest(&keys, wired.remote_mut()).unwrap();
+        for lpa in 0..direct.logical_pages() {
+            prop_assert_eq!(image_direct.newest(lpa), image_wired.newest(lpa));
+        }
+    }
+
+    /// The same equivalence behind the `FaultInjector` with a power cut
+    /// mid-stream: crash, recovery and the post-recovery state must all be
+    /// identical through the ideal wire.
+    #[test]
+    fn ideal_wire_is_byte_identical_behind_injector(
+        ops in proptest::collection::vec(op_strategy(), 8..100),
+        cut_at in 2u64..60,
+    ) {
+        let schedule = FaultSchedule::power_cut(cut_at);
+        let mut direct = FaultInjector::new(direct_device(), &schedule);
+        let mut wired = FaultInjector::new(wired_device(), &schedule);
+        for &op in &ops {
+            let a = apply(&mut direct, op);
+            let b = apply(&mut wired, op);
+            prop_assert_eq!(&a, &b, "op {:?} diverged under faults", op);
+            if a == Err(DeviceError::PowerLoss) {
+                let ra = direct.restore_power().unwrap();
+                let rb = wired.restore_power().unwrap();
+                prop_assert_eq!(ra, rb, "recovery reports diverged");
+            }
+        }
+        prop_assert_eq!(direct.power_cuts(), wired.power_cuts());
+        prop_assert_eq!(direct.torn_batches(), wired.torn_batches());
+
+        let audit_direct = direct.history_audit();
+        let audit_wired = wired.history_audit();
+        prop_assert_eq!(audit_direct.verified, audit_wired.verified);
+        prop_assert_eq!(audit_direct.records, audit_wired.records);
+        prop_assert_eq!(direct.offload_totals(), wired.offload_totals());
+        let horizon = direct.clock().now_ns() + 1;
+        for lpa in 0..direct.logical_pages() {
+            prop_assert_eq!(
+                direct.recover_as_of(lpa, horizon),
+                wired.recover_as_of(lpa, horizon)
+            );
+        }
+        assert_remotes_identical(
+            direct.inner_mut().remote_mut(),
+            wired.inner_mut().remote_mut(),
+        );
+    }
+}
+
+/// Every bare curated cell — including the partition cells whose faults the
+/// wire pipeline expresses as link blackouts (`PartitionQueue`) and
+/// collector drops (`PartitionDrop`) — must score byte-identically over an
+/// ideal link: these are the PR-4 scorecards, reproduced with the faults as
+/// emergent link conditions.
+#[test]
+fn ideal_wire_scorecards_match_fault_pipeline_byte_for_byte() {
+    let cells = [
+        ("hm", ActorKind::None, FaultPlan::None, 11),
+        ("hm", ActorKind::Classic, FaultPlan::None, 12),
+        ("hm", ActorKind::Classic, FaultPlan::PowerCutMidAttack, 13),
+        ("hm", ActorKind::Classic, FaultPlan::PartitionQueue, 14),
+        ("hm", ActorKind::Trim, FaultPlan::PartitionDrop, 15),
+    ];
+    for (profile, actor, plan, seed) in cells {
+        let cell = Scenario {
+            profile,
+            actor,
+            plan,
+            topology: Topology::Bare,
+            seed,
+        };
+        let injected = cell.run().expect("fault pipeline");
+        let wired = cell.run_wire(LinkConfig::ideal()).expect("wire pipeline");
+        assert_eq!(
+            injected.to_json(),
+            wired.to_json(),
+            "{}: wire-expressed faults must reproduce the injected scorecard",
+            cell.cell_id()
+        );
+        assert_eq!(injected, wired);
+    }
+}
+
+/// The shared-uplink topology: three members funneling into one wire, with
+/// the fault contract holding when the partition is a blackout of that one
+/// shared link.
+#[test]
+fn shared_uplink_cells_hold_the_fault_contract() {
+    let topology = Topology::SharedUplink {
+        shards: 3,
+        stripe_pages: 4,
+    };
+
+    // Fault-free attack: full detection, full recovery, wire or not.
+    let clean = Scenario {
+        profile: "mail",
+        actor: ActorKind::Classic,
+        plan: FaultPlan::None,
+        topology,
+        seed: 20,
+    }
+    .run()
+    .expect("shared-uplink cell");
+    assert_eq!(clean.cell, "mail/classic/none/uplink3");
+    assert!(clean.true_positive, "attack must be flagged");
+    assert!(clean.chain_verified);
+    assert_eq!(clean.recovery_fraction, 1.0);
+    assert_eq!(clean.data_loss_bytes, 0);
+    assert_eq!(clean.skipped_events, 0);
+    assert!(clean.segments_offloaded > 0, "offloads crossed the wire");
+
+    // Queue-mode partition of the shared link: every member's offloads
+    // buffer at the edge and replay in order when the one wire heals.
+    let queued = Scenario {
+        profile: "mail",
+        actor: ActorKind::Classic,
+        plan: FaultPlan::PartitionQueue,
+        topology,
+        seed: 21,
+    }
+    .run()
+    .expect("shared-uplink partition cell");
+    assert_eq!(queued.skipped_events, 0, "blackout must be expressible");
+    assert!(queued.offloads_queued > 0, "window saw offload traffic");
+    assert_eq!(
+        queued.offloads_replayed, queued.offloads_queued,
+        "heal replays the whole buffer"
+    );
+    assert_eq!(queued.offloads_dropped, 0);
+    assert!(queued.chain_verified);
+    assert!(queued.true_positive);
+    assert_eq!(queued.recovery_fraction, 1.0, "queueing costs nothing");
+}

@@ -25,7 +25,9 @@ pub mod nvmeoe;
 pub mod session;
 
 pub use frame::{EthernetFrame, MacAddr, ETHERTYPE_NVME_OE};
-pub use link::{LinkConfig, SimLink};
+pub use link::{LinkConfig, SharedLink, SimLink};
 pub use nic::{Nic, NicError, NicStats};
-pub use nvmeoe::{Capsule, CapsuleKind, NvmeOeEndpoint, ProtocolError, TransferStats};
+pub use nvmeoe::{
+    Capsule, CapsuleKind, NvmeOeEndpoint, ProtocolError, TransferStalled, TransferStats,
+};
 pub use session::{SecureSession, SessionError};

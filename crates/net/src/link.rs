@@ -1,8 +1,38 @@
 //! Simulated Ethernet link: bandwidth, propagation delay, deterministic
-//! loss injection.
+//! loss injection, and operator-controlled blackout windows.
+//!
+//! # Examples
+//!
+//! A frame's arrival time is the sender's serialization time (it queues
+//! behind earlier frames) plus the propagation delay — both in simulated
+//! nanoseconds on the shared clock:
+//!
+//! ```
+//! use bytes::Bytes;
+//! use rssd_net::{EthernetFrame, LinkConfig, MacAddr, SimLink};
+//!
+//! let mut link = SimLink::new(LinkConfig {
+//!     bandwidth_bytes_per_sec: 1_000_000_000, // 1 ns per byte
+//!     propagation_delay_ns: 1_000,
+//!     loss_period: 0,
+//! });
+//! let frame = EthernetFrame::nvme_oe(
+//!     MacAddr::REMOTE,
+//!     MacAddr::DEVICE,
+//!     Bytes::from(vec![0u8; 986]), // 1000 bytes on the wire with the header
+//! );
+//! assert_eq!(link.transmit(&frame, 0), Some(2_000)); // 1000 ns + 1000 ns
+//!
+//! // A blackout window: frames vanish until the link comes back.
+//! link.set_down(true);
+//! assert_eq!(link.transmit(&frame, 5_000), None);
+//! link.set_down(false);
+//! assert!(link.transmit(&frame, 5_000).is_some());
+//! ```
 
 use crate::frame::EthernetFrame;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 
 /// Link parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -42,6 +72,20 @@ impl LinkConfig {
             ..Self::datacenter_10g()
         }
     }
+
+    /// An ideal link: infinite bandwidth, zero propagation, zero loss.
+    /// Frames arrive the instant they are offered — the wire consumes no
+    /// simulated time at all. This is the differential baseline the
+    /// wire-equivalence suite compares against: a device offloading through
+    /// an ideal link must be byte-identical to one calling its remote
+    /// target directly.
+    pub fn ideal() -> Self {
+        LinkConfig {
+            bandwidth_bytes_per_sec: u64::MAX,
+            propagation_delay_ns: 0,
+            loss_period: 0,
+        }
+    }
 }
 
 impl Default for LinkConfig {
@@ -60,7 +104,9 @@ pub struct SimLink {
     busy_until_ns: u64,
     frames_offered: u64,
     frames_dropped: u64,
+    frames_blackholed: u64,
     bytes_carried: u64,
+    down: bool,
 }
 
 impl SimLink {
@@ -71,7 +117,9 @@ impl SimLink {
             busy_until_ns: 0,
             frames_offered: 0,
             frames_dropped: 0,
+            frames_blackholed: 0,
             bytes_carried: 0,
+            down: false,
         }
     }
 
@@ -90,6 +138,27 @@ impl SimLink {
         self.frames_dropped
     }
 
+    /// Frames swallowed by blackout windows (a cut cable, a dead switch).
+    pub fn frames_blackholed(&self) -> u64 {
+        self.frames_blackholed
+    }
+
+    /// `true` while a blackout window is open.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Opens (`true`) or closes (`false`) a blackout window. While down,
+    /// every offered frame vanishes — the sender still serializes into the
+    /// dead medium (bandwidth is consumed), but nothing arrives. This is
+    /// how partition faults are expressed on the wire: the span between
+    /// `set_down(true)` and `set_down(false)` *is* the fault window, and
+    /// everything downstream (retransmission, timeout, backpressure) is
+    /// emergent protocol behavior rather than an injected result.
+    pub fn set_down(&mut self, down: bool) {
+        self.down = down;
+    }
+
     /// Payload + header bytes successfully carried.
     pub fn bytes_carried(&self) -> u64 {
         self.bytes_carried
@@ -106,10 +175,13 @@ impl SimLink {
     pub fn transmit(&mut self, frame: &EthernetFrame, now_ns: u64) -> Option<u64> {
         self.frames_offered += 1;
         let start = self.busy_until_ns.max(now_ns);
-        let serialize_ns =
-            frame.wire_bytes() as u64 * 1_000_000_000 / self.config.bandwidth_bytes_per_sec.max(1);
+        let serialize_ns = serialize_ns(frame.wire_bytes(), self.config.bandwidth_bytes_per_sec);
         self.busy_until_ns = start + serialize_ns;
 
+        if self.down {
+            self.frames_blackholed += 1;
+            return None;
+        }
         let dropped =
             self.config.loss_period != 0 && self.frames_offered % self.config.loss_period == 0;
         if dropped {
@@ -118,6 +190,80 @@ impl SimLink {
         }
         self.bytes_carried += frame.wire_bytes() as u64;
         Some(self.busy_until_ns + self.config.propagation_delay_ns)
+    }
+}
+
+/// Serialization time of `wire_bytes` at `bandwidth` bytes/s. Saturating so
+/// [`LinkConfig::ideal`]'s `u64::MAX` bandwidth yields exactly zero.
+fn serialize_ns(wire_bytes: usize, bandwidth: u64) -> u64 {
+    if bandwidth == u64::MAX {
+        return 0;
+    }
+    wire_bytes as u64 * 1_000_000_000 / bandwidth.max(1)
+}
+
+/// A [`SimLink`] shared by several endpoints: N array members funneling
+/// into one uplink to a common remote. Cloning shares the underlying link,
+/// so every sender queues behind every other sender's frames — contention
+/// for the shared medium is what the scenario matrix's shared-uplink
+/// topology measures.
+#[derive(Clone, Debug)]
+pub struct SharedLink(Arc<Mutex<SimLink>>);
+
+impl SharedLink {
+    /// Creates an idle shared link.
+    pub fn new(config: LinkConfig) -> Self {
+        SharedLink(Arc::new(Mutex::new(SimLink::new(config))))
+    }
+
+    /// Offers a frame to the shared wire; see [`SimLink::transmit`].
+    pub fn transmit(&self, frame: &EthernetFrame, now_ns: u64) -> Option<u64> {
+        self.lock().transmit(frame, now_ns)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.lock().config()
+    }
+
+    /// Opens/closes a blackout window on the shared wire (affects every
+    /// endpoint funneling through it); see [`SimLink::set_down`].
+    pub fn set_down(&self, down: bool) {
+        self.lock().set_down(down);
+    }
+
+    /// `true` while a blackout window is open.
+    pub fn is_down(&self) -> bool {
+        self.lock().is_down()
+    }
+
+    /// Frames offered by all senders combined.
+    pub fn frames_offered(&self) -> u64 {
+        self.lock().frames_offered()
+    }
+
+    /// Frames dropped by loss injection.
+    pub fn frames_dropped(&self) -> u64 {
+        self.lock().frames_dropped()
+    }
+
+    /// Frames swallowed by blackout windows.
+    pub fn frames_blackholed(&self) -> u64 {
+        self.lock().frames_blackholed()
+    }
+
+    /// Header + payload bytes successfully carried.
+    pub fn bytes_carried(&self) -> u64 {
+        self.lock().bytes_carried()
+    }
+
+    /// Time the shared sender side frees up.
+    pub fn busy_until_ns(&self) -> u64 {
+        self.lock().busy_until_ns()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SimLink> {
+        self.0.lock().expect("link lock never poisoned")
     }
 }
 
@@ -178,6 +324,55 @@ mod tests {
         assert!(link.transmit(&frame(86), 0).is_none());
         assert_eq!(link.busy_until_ns(), 100);
         assert_eq!(link.bytes_carried(), 0);
+    }
+
+    #[test]
+    fn ideal_link_consumes_no_time() {
+        let mut link = SimLink::new(LinkConfig::ideal());
+        assert_eq!(link.transmit(&frame(8986), 7_000), Some(7_000));
+        assert_eq!(link.busy_until_ns(), 7_000);
+    }
+
+    #[test]
+    fn blackout_swallows_frames_but_still_serializes() {
+        let mut link = SimLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            propagation_delay_ns: 0,
+            loss_period: 0,
+        });
+        link.set_down(true);
+        assert!(link.is_down());
+        assert_eq!(link.transmit(&frame(86), 0), None);
+        assert_eq!(link.frames_blackholed(), 1);
+        assert_eq!(link.frames_dropped(), 0, "blackouts are not loss");
+        assert_eq!(link.busy_until_ns(), 100, "sender serialized into the void");
+        link.set_down(false);
+        assert_eq!(link.transmit(&frame(86), 0), Some(200));
+    }
+
+    #[test]
+    fn shared_link_serializes_across_senders() {
+        let shared = SharedLink::new(LinkConfig {
+            bandwidth_bytes_per_sec: 1_000_000_000,
+            propagation_delay_ns: 0,
+            loss_period: 0,
+        });
+        let a = shared.clone();
+        let b = shared.clone();
+        assert_eq!(a.transmit(&frame(86), 0), Some(100));
+        // The second sender queues behind the first on the same wire.
+        assert_eq!(b.transmit(&frame(86), 0), Some(200));
+        assert_eq!(shared.frames_offered(), 2);
+        assert_eq!(shared.bytes_carried(), 200);
+    }
+
+    #[test]
+    fn shared_link_blackout_hits_every_sender() {
+        let shared = SharedLink::new(LinkConfig::datacenter_10g());
+        let a = shared.clone();
+        shared.set_down(true);
+        assert_eq!(a.transmit(&frame(86), 0), None);
+        assert_eq!(shared.frames_blackholed(), 1);
     }
 
     #[test]

@@ -1,8 +1,31 @@
 //! The NVMe-oE capsule protocol: fragmentation, sequencing, cumulative
 //! acknowledgement and retransmission over the lossy link.
+//!
+//! # Examples
+//!
+//! A fabric transfer consumes simulated nanoseconds proportional to the
+//! payload and the link, and a dead link surfaces as a timeout rather than
+//! an infinite retry loop:
+//!
+//! ```
+//! use rssd_net::{LinkConfig, NvmeOeEndpoint};
+//!
+//! let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+//! let payload = vec![7u8; 20_000];
+//! let (done_ns, delivered) = fabric.transfer_segment(1, &payload, 0);
+//! assert_eq!(delivered, payload);
+//! // 1.25 GB/s line rate: 20 kB cannot arrive faster than 16 us.
+//! assert!(done_ns >= 16_000);
+//!
+//! fabric.set_link_down(true);
+//! let err = fabric
+//!     .try_transfer_segment(2, &payload, done_ns, 4)
+//!     .unwrap_err();
+//! assert_eq!(err.stall_rounds, 4);
+//! ```
 
 use crate::frame::{EthernetFrame, MacAddr, MAX_PAYLOAD};
-use crate::link::{LinkConfig, SimLink};
+use crate::link::{LinkConfig, SharedLink, SimLink};
 use crate::nic::Nic;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -84,6 +107,34 @@ impl std::fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// Reliable transfer gave up: the fabric made no forward progress (no new
+/// fragment delivered, no completing ack) for the caller's stall budget of
+/// consecutive retransmission rounds.
+///
+/// This is how a [`SimLink`] blackout window becomes visible to the offload
+/// engine: the transport times out, the segment stays pending on-device, and
+/// the caller decides whether to queue, retry, or report the remote
+/// unreachable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferStalled {
+    /// Consecutive no-progress rounds observed before giving up.
+    pub stall_rounds: u32,
+    /// Simulated time at which the sender gave up (RTO waits included).
+    pub gave_up_at_ns: u64,
+}
+
+impl std::fmt::Display for TransferStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transfer stalled for {} consecutive rounds (gave up at {} ns)",
+            self.stall_rounds, self.gave_up_at_ns
+        )
+    }
+}
+
+impl std::error::Error for TransferStalled {}
+
 impl Capsule {
     /// Serializes the capsule.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -152,7 +203,7 @@ pub struct TransferStats {
 pub struct NvmeOeEndpoint {
     device_nic: Nic,
     remote_nic: Nic,
-    to_remote: SimLink,
+    to_remote: SharedLink,
     to_device: SimLink,
     next_seq: u64,
     rto_ns: u64,
@@ -163,13 +214,23 @@ impl NvmeOeEndpoint {
     /// Default retransmission timeout.
     pub const DEFAULT_RTO_NS: u64 = 2_000_000; // 2 ms
 
-    /// Builds a fabric over symmetric links with `config`.
+    /// Builds a fabric over symmetric links with `config` (a private
+    /// uplink; see [`NvmeOeEndpoint::with_uplink`] for a shared one).
     pub fn new(config: LinkConfig) -> Self {
+        Self::with_uplink(SharedLink::new(config), config)
+    }
+
+    /// Builds a fabric whose device → remote direction is the caller's
+    /// `uplink` — possibly shared with other endpoints, so N devices
+    /// funneling into one wire queue behind each other's serialization
+    /// time. The remote → device return path (acks, read responses) is a
+    /// private [`SimLink`] with `return_config`.
+    pub fn with_uplink(uplink: SharedLink, return_config: LinkConfig) -> Self {
         NvmeOeEndpoint {
             device_nic: Nic::new(MacAddr::DEVICE),
             remote_nic: Nic::new(MacAddr::REMOTE),
-            to_remote: SimLink::new(config),
-            to_device: SimLink::new(config),
+            to_remote: uplink,
+            to_device: SimLink::new(return_config),
             next_seq: 0,
             rto_ns: Self::DEFAULT_RTO_NS,
             stats: TransferStats::default(),
@@ -179,6 +240,25 @@ impl NvmeOeEndpoint {
     /// Overrides the retransmission timeout.
     pub fn set_rto_ns(&mut self, rto_ns: u64) {
         self.rto_ns = rto_ns.max(1);
+    }
+
+    /// Takes both link directions down (`true`) or restores them
+    /// (`false`). While down, frames serialize into the void and
+    /// [`NvmeOeEndpoint::try_transfer_segment`] exhausts its stall budget —
+    /// the wire expression of a network partition.
+    pub fn set_link_down(&mut self, down: bool) {
+        self.to_remote.set_down(down);
+        self.to_device.set_down(down);
+    }
+
+    /// Whether the device → remote direction is currently down.
+    pub fn is_link_down(&self) -> bool {
+        self.to_remote.is_down()
+    }
+
+    /// A handle to the device → remote uplink (cloning shares the wire).
+    pub fn uplink(&self) -> SharedLink {
+        self.to_remote.clone()
     }
 
     /// Protocol statistics.
@@ -200,12 +280,38 @@ impl NvmeOeEndpoint {
     /// at `now_ns`. Returns `(completion_ns, reassembled_payload)` — the
     /// caller (the remote log server) receives the payload exactly once,
     /// in order, whatever the link loss.
+    ///
+    /// Retries forever: on a link that is down indefinitely this spins.
+    /// Callers that must survive a partition use
+    /// [`NvmeOeEndpoint::try_transfer_segment`] with a stall budget.
     pub fn transfer_segment(
         &mut self,
         segment_seq: u64,
         payload: &[u8],
         now_ns: u64,
     ) -> (u64, Vec<u8>) {
+        self.try_transfer_segment(segment_seq, payload, now_ns, u32::MAX)
+            .expect("unlimited stall budget never gives up")
+    }
+
+    /// [`NvmeOeEndpoint::transfer_segment`] with a bounded stall budget.
+    ///
+    /// A retransmission round makes *progress* when it delivers at least
+    /// one new fragment or the completing cumulative ack. After
+    /// `max_stall_rounds` consecutive rounds without progress (each waiting
+    /// out one RTO), the sender gives up with [`TransferStalled`] — the
+    /// segment is **not** delivered and the caller still owns the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`TransferStalled`] once the stall budget is exhausted.
+    pub fn try_transfer_segment(
+        &mut self,
+        segment_seq: u64,
+        payload: &[u8],
+        now_ns: u64,
+        max_stall_rounds: u32,
+    ) -> Result<(u64, Vec<u8>), TransferStalled> {
         let fragments: Vec<&[u8]> = if payload.is_empty() {
             vec![&[][..]]
         } else {
@@ -214,10 +320,12 @@ impl NvmeOeEndpoint {
         let mut received: Vec<Option<Vec<u8>>> = vec![None; fragments.len()];
         let mut t = now_ns;
         let mut round = 0u32;
+        let mut stall_rounds = 0u32;
 
         while received.iter().any(Option::is_none) {
             // One round: pipeline every missing fragment.
             let mut last_arrival = t;
+            let mut progressed = false;
             for (i, frag) in fragments.iter().enumerate() {
                 if received[i].is_some() {
                     continue;
@@ -249,6 +357,7 @@ impl NvmeOeEndpoint {
                     debug_assert_eq!(capsule.kind, CapsuleKind::SegmentWrite);
                     received[i] = Some(capsule.payload);
                     last_arrival = last_arrival.max(arrival);
+                    progressed = true;
                 }
             }
             // Cumulative ack (or timeout if everything in the round died).
@@ -275,6 +384,17 @@ impl NvmeOeEndpoint {
                 }
             }
             round += 1;
+            if progressed {
+                stall_rounds = 0;
+            } else {
+                stall_rounds += 1;
+                if stall_rounds >= max_stall_rounds {
+                    return Err(TransferStalled {
+                        stall_rounds,
+                        gave_up_at_ns: t,
+                    });
+                }
+            }
         }
 
         self.stats.segments += 1;
@@ -286,7 +406,7 @@ impl NvmeOeEndpoint {
                 acc
             },
         );
-        (t, data)
+        Ok((t, data))
     }
 }
 
@@ -391,6 +511,60 @@ mod tests {
         let (done, _) = fabric.transfer_segment(1, &payload, 0);
         let gbps = payload.len() as f64 / done as f64; // bytes per ns = GB/s
         assert!(gbps > 1.0, "goodput {gbps} GB/s on a 1.25 GB/s link");
+    }
+
+    #[test]
+    fn down_link_times_out_instead_of_hanging() {
+        let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+        fabric.set_link_down(true);
+        assert!(fabric.is_link_down());
+        let err = fabric
+            .try_transfer_segment(1, &[1, 2, 3], 0, 3)
+            .unwrap_err();
+        assert_eq!(err.stall_rounds, 3);
+        // Each stalled round waits out one RTO on the simulated clock.
+        assert!(err.gave_up_at_ns >= 3 * NvmeOeEndpoint::DEFAULT_RTO_NS);
+        assert_eq!(fabric.stats().segments, 0);
+    }
+
+    #[test]
+    fn restored_link_delivers_after_blackout() {
+        let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+        fabric.set_link_down(true);
+        let gave_up = fabric
+            .try_transfer_segment(1, &[9; 100], 0, 2)
+            .unwrap_err()
+            .gave_up_at_ns;
+        fabric.set_link_down(false);
+        let (done, delivered) = fabric
+            .try_transfer_segment(1, &[9; 100], gave_up, 2)
+            .unwrap();
+        assert_eq!(delivered, vec![9; 100]);
+        assert!(done > gave_up);
+        assert_eq!(fabric.stats().segments, 1);
+    }
+
+    #[test]
+    fn shared_uplink_serializes_concurrent_offloads() {
+        let uplink = SharedLink::new(LinkConfig::datacenter_10g());
+        let mut a = NvmeOeEndpoint::with_uplink(uplink.clone(), LinkConfig::datacenter_10g());
+        let mut b = NvmeOeEndpoint::with_uplink(uplink.clone(), LinkConfig::datacenter_10g());
+        let payload = vec![0u8; 100_000];
+        let mut solo = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+        let (t_solo, _) = solo.transfer_segment(1, &payload, 0);
+        let (t_a, _) = a.transfer_segment(1, &payload, 0);
+        let (t_b, _) = b.transfer_segment(1, &payload, 0);
+        assert_eq!(t_a, t_solo, "first sender owns the idle wire");
+        // The second sender queues behind the first for at least the pure
+        // serialization time of the payload (100 kB at 1.25 GB/s = 80 us).
+        assert!(
+            t_b >= t_a + 80_000,
+            "second sender queues behind the first: {t_b} vs {t_a}"
+        );
+        assert_eq!(
+            uplink.frames_offered(),
+            a.stats().capsules_sent + b.stats().capsules_sent
+        );
     }
 
     #[test]

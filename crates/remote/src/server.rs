@@ -44,6 +44,7 @@ pub struct RemoteLogServer {
     segment_index: Vec<u64>,
     report: ServerReport,
     reachable: bool,
+    external_fabric: bool,
 }
 
 impl RemoteLogServer {
@@ -60,6 +61,7 @@ impl RemoteLogServer {
             segment_index: Vec::new(),
             report: ServerReport::default(),
             reachable: true,
+            external_fabric: false,
         }
     }
 
@@ -80,6 +82,15 @@ impl RemoteLogServer {
     /// Simulates a network partition.
     pub fn set_reachable(&mut self, reachable: bool) {
         self.reachable = reachable;
+    }
+
+    /// Tells the server its envelopes already crossed a modeled wire
+    /// upstream — the device wrapped this server in
+    /// `rssd_core::WireRemote`, which charged the NVMe-oE transfer to the
+    /// simulated clock. Ingest then happens at `now_ns` without a second
+    /// fabric hop.
+    pub fn set_external_fabric(&mut self, external: bool) {
+        self.external_fabric = external;
     }
 
     /// Current dashboard.
@@ -104,31 +115,6 @@ impl RemoteLogServer {
 
     fn segment_key(seq: u64) -> String {
         format!("segments/{seq:016x}")
-    }
-
-    fn envelope_to_bytes(envelope: &SegmentEnvelope) -> Vec<u8> {
-        let mut out = Vec::with_capacity(envelope.wire_bytes());
-        out.extend_from_slice(&envelope.device_id.to_le_bytes());
-        out.extend_from_slice(&envelope.segment_seq.to_le_bytes());
-        out.extend_from_slice(envelope.prev_chain_head.as_bytes());
-        out.extend_from_slice(envelope.chain_head.as_bytes());
-        out.extend_from_slice(&envelope.record_count.to_le_bytes());
-        out.extend_from_slice(&envelope.sealed_payload);
-        out
-    }
-
-    fn envelope_from_bytes(data: &[u8]) -> Option<SegmentEnvelope> {
-        if data.len() < 84 {
-            return None;
-        }
-        Some(SegmentEnvelope {
-            device_id: u64::from_le_bytes(data[..8].try_into().ok()?),
-            segment_seq: u64::from_le_bytes(data[8..16].try_into().ok()?),
-            prev_chain_head: Digest::from_bytes(data[16..48].try_into().ok()?),
-            chain_head: Digest::from_bytes(data[48..80].try_into().ok()?),
-            record_count: u32::from_le_bytes(data[80..84].try_into().ok()?),
-            sealed_payload: data[84..].to_vec(),
-        })
     }
 
     /// Feeds the decrypted records of a stored segment to the detection
@@ -177,12 +163,18 @@ impl RemoteTarget for RemoteLogServer {
                 });
             }
         }
-        // Transfer over the fabric, then persist.
-        let wire = Self::envelope_to_bytes(&envelope);
-        let (arrival_ns, delivered) =
-            self.fabric
-                .transfer_segment(envelope.segment_seq, &wire, now_ns);
-        debug_assert_eq!(delivered, wire, "fabric must deliver intact");
+        // Transfer over the fabric (unless the wire was modeled upstream),
+        // then persist.
+        let wire = envelope.to_wire_bytes();
+        let (arrival_ns, wire) = if self.external_fabric {
+            (now_ns, wire)
+        } else {
+            let (arrival_ns, delivered) =
+                self.fabric
+                    .transfer_segment(envelope.segment_seq, &wire, now_ns);
+            debug_assert_eq!(delivered, wire, "fabric must deliver intact");
+            (arrival_ns, delivered)
+        };
         let durable_at_ns =
             self.store
                 .put(&Self::segment_key(envelope.segment_seq), wire, arrival_ns);
@@ -206,7 +198,7 @@ impl RemoteTarget for RemoteLogServer {
             .store
             .get(&Self::segment_key(segment_seq), 0)
             .ok_or(RemoteError::NoSuchSegment(segment_seq))?;
-        Self::envelope_from_bytes(&bytes).ok_or(RemoteError::NoSuchSegment(segment_seq))
+        SegmentEnvelope::from_wire_bytes(&bytes).ok_or(RemoteError::NoSuchSegment(segment_seq))
     }
 
     fn stored_segments(&self) -> Vec<u64> {
@@ -259,6 +251,34 @@ mod tests {
         d.write_page(3, vec![1; 4096]).unwrap();
         d.write_page(3, vec![2; 4096]).unwrap();
         d.flush_log().unwrap();
+        assert_eq!(d.recover_page(3).unwrap(), vec![1; 4096]);
+    }
+
+    #[test]
+    fn wire_remote_carries_segments_to_real_server_on_one_wire() {
+        // The full codesign path: offload engine → WireRemote (the modeled
+        // NVMe-oE wire) → log server ingesting without a second fabric hop.
+        let mut server = RemoteLogServer::datacenter(&keys());
+        server.set_external_fabric(true);
+        let mut d = RssdDevice::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+            RssdConfig {
+                segment_pages: 8,
+                ..RssdConfig::default()
+            },
+            rssd_core::WireRemote::new(server, rssd_net::LinkConfig::datacenter_10g()),
+        );
+        d.write_page(3, vec![1; 4096]).unwrap();
+        d.write_page(3, vec![2; 4096]).unwrap();
+        d.flush_log().unwrap();
+        assert!(d.remote().inner().report().segments_stored > 0);
+        assert_eq!(d.remote().inner().report().segments_rejected, 0);
+        // Exactly one wire: WireRemote's fabric carried capsules, the
+        // server's internal fabric stayed idle.
+        assert!(d.remote().transfer_stats().payload_bytes > 0);
+        assert_eq!(d.remote().inner().transfer_stats().payload_bytes, 0);
         assert_eq!(d.recover_page(3).unwrap(), vec![1; 4096]);
     }
 

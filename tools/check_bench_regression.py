@@ -11,8 +11,10 @@ fails the build unless the device-internal parallelism holds:
   real), and
 * p50 < p99 in at least one row (the log-linear histogram satellite).
 
-Also sanity-checks BENCH_array_scaling.json's 1 -> 4 shard monotonicity so
-the artifact uploaded by CI is never a regressed one.
+Also sanity-checks BENCH_array_scaling.json's 1 -> 4 shard monotonicity,
+and BENCH_offload_wire.json's link physics (datacenter out-runs WAN, lossy
+links pay in retransmissions, recovery-window integrity holds on every
+link), so the artifacts uploaded by CI are never regressed ones.
 """
 
 import json
@@ -85,14 +87,45 @@ def check_array_scaling() -> list[str]:
     return failures
 
 
+def check_offload_wire() -> list[str]:
+    rows = load_rows("BENCH_offload_wire.json")
+    failures = []
+    expected = ("ideal", "dc_10g", "dc_10g_loss2", "dc_10g_loss20",
+                "wan_cloud", "wan_loss2")
+    for config in expected:
+        if config not in rows:
+            failures.append(f"{config}: row missing from BENCH_offload_wire.json")
+    if failures:
+        return failures
+    dc = rows["dc_10g"]["offload_mbps"]
+    wan = rows["wan_cloud"]["offload_mbps"]
+    if dc <= wan:
+        failures.append(
+            f"datacenter link must out-run the WAN "
+            f"(dc_10g {dc:.2f} vs wan_cloud {wan:.2f} MB/s)")
+    if rows["wan_cloud"]["sim_end_ms"] <= rows["dc_10g"]["sim_end_ms"]:
+        failures.append("WAN propagation is not landing on the device "
+                        "timeline (wan sim_end <= datacenter sim_end)")
+    for config in ("dc_10g_loss2", "dc_10g_loss20", "wan_loss2"):
+        if rows[config]["retransmissions"] <= 0:
+            failures.append(f"{config}: lossy link shows zero retransmissions "
+                            "- the loss model is disconnected from the wire")
+    for config in expected:
+        if rows[config]["recovery_ok"] != 1.0:
+            failures.append(f"{config}: recovery-window integrity broken - "
+                            "the link is costing evidence, not just time")
+    return failures
+
+
 def main() -> None:
-    failures = check_qd_sweep() + check_array_scaling()
+    failures = check_qd_sweep() + check_array_scaling() + check_offload_wire()
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         sys.exit(1)
     print("bench regression gate: OK "
-          "(QD scaling >= 2x, monotonic, rssd != plain, p50 < p99)")
+          "(QD scaling >= 2x, monotonic, rssd != plain, p50 < p99, "
+          "wire physics hold, recovery survives every link)")
 
 
 if __name__ == "__main__":
