@@ -47,7 +47,8 @@ use crate::layout::StripeLayout;
 use rssd_core::{
     CrashRecovery, CrashReport, HarvestReport, OffloadStats, RebuildImage, RemoteTarget, RssdDevice,
 };
-use rssd_flash::SimClock;
+use rssd_flash::{NandStats, SimClock};
+use rssd_ftl::FtlStats;
 use rssd_ssd::{BlockDevice, CommandOutcome, CommandResult, DeviceError, IoCommand, LatencyStats};
 
 /// Typed failures of the array lifecycle operations. Every condition the
@@ -700,10 +701,7 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
         let mut merged = CrashReport::default();
         for state in &mut self.shards {
             if let ShardState::Live(d) | ShardState::Rebuilding { device: d, .. } = state {
-                let r = d.crash();
-                merged.pending_records_lost += r.pending_records_lost;
-                merged.pending_preimages_lost += r.pending_preimages_lost;
-                merged.chain_len_at_crash += r.chain_len_at_crash;
+                merged.merge(&d.crash());
             }
         }
         merged
@@ -718,12 +716,7 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
     /// remote was unreachable or failed chain verification; members before
     /// it are recovered, members after it remain crashed.
     pub fn recover(&mut self) -> Result<CrashRecovery, ArrayError> {
-        let mut merged = CrashRecovery {
-            segments_walked: 0,
-            records_indexed: 0,
-            versions_indexed: 0,
-            resumed_seq: 0,
-        };
+        let mut merged = CrashRecovery::default();
         for (shard, state) in self.shards.iter_mut().enumerate() {
             if let ShardState::Live(d) | ShardState::Rebuilding { device: d, .. } = state {
                 if !d.is_crashed() {
@@ -732,10 +725,7 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
                 let r = d
                     .recover()
                     .map_err(|detail| ArrayError::MemberRecoveryFailed { shard, detail })?;
-                merged.segments_walked += r.segments_walked;
-                merged.records_indexed += r.records_indexed;
-                merged.versions_indexed += r.versions_indexed;
-                merged.resumed_seq += r.resumed_seq;
+                merged.merge(&r);
             }
         }
         Ok(merged)
@@ -922,6 +912,33 @@ impl<R: RemoteTarget> RssdArray<RssdDevice<R>> {
                 ShardState::Degraded(_) => 0,
             })
             .sum()
+    }
+
+    /// Fleet-wide NAND counters, merged across reachable members via
+    /// [`NandStats::merge`] — each member's channel-busy vector adds by
+    /// channel index, so per-channel utilization stays meaningful for a
+    /// homogeneous array.
+    pub fn nand_stats(&self) -> NandStats {
+        let mut merged = NandStats::default();
+        for state in &self.shards {
+            if let ShardState::Live(d) | ShardState::Rebuilding { device: d, .. } = state {
+                merged.merge(d.nand_stats());
+            }
+        }
+        merged
+    }
+
+    /// Fleet-wide FTL counters, merged across reachable members via
+    /// [`FtlStats::merge`]; the merged write-amplification is the
+    /// page-weighted aggregate.
+    pub fn ftl_stats(&self) -> FtlStats {
+        let mut merged = FtlStats::default();
+        for state in &self.shards {
+            if let ShardState::Live(d) | ShardState::Rebuilding { device: d, .. } = state {
+                merged.merge(d.ftl_stats());
+            }
+        }
+        merged
     }
 
     /// Fleet-wide device-side latency distribution, merged across reachable

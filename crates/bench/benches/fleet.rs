@@ -1,0 +1,187 @@
+//! Fleet-scale simulation throughput: the simulator's own speed as a
+//! tracked performance surface.
+//!
+//! Runs the `rssd-fleet` harness across fleet sizes {16, 64, 256} × worker
+//! counts {1, 4, 8} and reports, per cell:
+//!
+//! * **simulated IOPS** — fleet records over the fleet's simulated
+//!   makespan; a property of the *model*, so it must be byte-identical
+//!   across worker counts (asserted inline, and again by the regression
+//!   gate over `BENCH_fleet.json`);
+//! * **wall-clock sim-throughput** — records simulated per host-second;
+//!   a property of the *simulator*, the number the worker pool exists to
+//!   scale. `host_cores` rides along in the JSON so the regression gate
+//!   can demand real speedup only where the hardware can provide it.
+//!
+//! The determinism contract is what makes wall-clock a safe surface: the
+//! merged [`FleetReport`] carries no timing of the host, so parallelism
+//! can only change how fast the answer arrives, never the answer.
+
+use criterion::{criterion_group, Criterion};
+use rssd_bench::{rule, write_bench_json, BenchRow};
+use rssd_fleet::{Fleet, FleetConfig, FleetReport};
+use std::time::Instant;
+
+const FLEET_SIZES: [usize; 3] = [16, 64, 256];
+const WORKER_COUNTS: [usize; 3] = [1, 4, 8];
+/// Benign records per member; attack overlays ride on top for the
+/// compromised fraction.
+const OPS_PER_MEMBER: usize = 120;
+/// Fleet seed for the whole sweep.
+const SEED: u64 = 11;
+
+fn config(members: usize, workers: usize) -> FleetConfig {
+    FleetConfig {
+        members,
+        workers,
+        seed: SEED,
+        ops_per_member: OPS_PER_MEMBER,
+        fault_fraction: 0.1,
+        ..FleetConfig::default()
+    }
+}
+
+struct Cell {
+    members: usize,
+    workers: usize,
+    wall_s: f64,
+    report: FleetReport,
+}
+
+impl Cell {
+    fn ops_per_host_sec(&self) -> f64 {
+        self.report.total_ops as f64 / self.wall_s
+    }
+}
+
+fn print_sweep() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "fleet sweep: sizes {FLEET_SIZES:?} x workers {WORKER_COUNTS:?} (host cores: {host_cores})"
+    );
+    println!("{}", rule(100));
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>14} {:>10} {:>8} {:>8}",
+        "members", "workers", "sim IOPS", "wall ms", "ops/host-s", "recall", "fp", "verdict"
+    );
+    println!("{}", rule(100));
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &members in &FLEET_SIZES {
+        let mut baseline: Option<&Cell> = None;
+        let start_idx = cells.len();
+        for &workers in &WORKER_COUNTS {
+            let fleet = Fleet::new(config(members, workers));
+            let start = Instant::now();
+            let report = fleet.run().expect("fleet run failed");
+            let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+            let cell = Cell {
+                members,
+                workers,
+                wall_s,
+                report,
+            };
+            println!(
+                "{:>8} {:>8} {:>12.2} {:>12.1} {:>14.0} {:>10.2} {:>8} {:>8?}",
+                members,
+                workers,
+                cell.report.simulated_iops(),
+                wall_s * 1e3,
+                cell.ops_per_host_sec(),
+                cell.report.detection_recall(),
+                cell.report.false_positives,
+                cell.report.fleet_verdict,
+            );
+            cells.push(cell);
+        }
+        // Simulated results are the model's answer: worker count must be
+        // invisible in them. Compare full reports, not just headline rates.
+        let slice = &cells[start_idx..];
+        baseline.get_or_insert(&slice[0]);
+        for cell in &slice[1..] {
+            assert_eq!(
+                slice[0].report, cell.report,
+                "fleet{members}: report differs between {} and {} workers",
+                slice[0].workers, cell.workers
+            );
+        }
+    }
+    println!("{}", rule(100));
+
+    let rows: Vec<BenchRow> = cells
+        .iter()
+        .map(|cell| BenchRow {
+            config: format!("fleet{}_w{}", cell.members, cell.workers),
+            metrics: vec![
+                ("members", cell.members as f64),
+                ("workers", cell.workers as f64),
+                ("host_cores", host_cores as f64),
+                ("total_ops", cell.report.total_ops as f64),
+                ("sim_iops", cell.report.simulated_iops()),
+                ("wall_ms", cell.wall_s * 1e3),
+                ("ops_per_host_sec", cell.ops_per_host_sec()),
+                ("detection_recall", cell.report.detection_recall()),
+                ("false_positives", cell.report.false_positives as f64),
+                ("fleet_score", cell.report.fleet_score),
+            ],
+        })
+        .collect();
+    match write_bench_json("fleet", &rows) {
+        Ok(path) => println!("(summary written to {})", path.display()),
+        Err(e) => eprintln!("(could not write BENCH_fleet.json: {e})"),
+    }
+
+    // Inline acceptance gates (the regression tool re-checks these against
+    // the JSON so CI fails loudly either way).
+    let at = |members: usize, workers: usize| {
+        cells
+            .iter()
+            .find(|c| c.members == members && c.workers == workers)
+            .expect("cell present")
+    };
+    let one = at(256, 1);
+    let eight = at(256, 8);
+    let speedup = eight.ops_per_host_sec() / one.ops_per_host_sec();
+    println!(
+        "(256 members: 8-worker/1-worker host-throughput ratio {speedup:.2} on {host_cores} cores)"
+    );
+    if host_cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "8 workers must deliver >= 2x 1-worker host throughput at 256 members \
+             on a {host_cores}-core host (got {speedup:.2}x)"
+        );
+    } else {
+        // A core-starved host cannot speed up, but the pool must not
+        // collapse under contention either.
+        assert!(
+            speedup >= 0.5,
+            "worker-pool overhead out of bounds on {host_cores}-core host: {speedup:.2}x"
+        );
+    }
+    for cell in &cells {
+        assert!(
+            cell.report.detection_recall() >= 0.9,
+            "fleet{}: per-member audits must catch compromised members (recall {:.2})",
+            cell.members,
+            cell.report.detection_recall()
+        );
+    }
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function("fleet16_w1", |b| {
+        b.iter(|| Fleet::new(config(16, 1)).run().expect("fleet run"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+
+fn main() {
+    print_sweep();
+    benches();
+    criterion::Criterion::default().final_summary();
+}

@@ -80,9 +80,20 @@ pub struct CrashReport {
     pub chain_len_at_crash: u64,
 }
 
+impl CrashReport {
+    /// Folds another member's crash report into this one — the
+    /// enclosure/fleet rollup. Associative and commutative, with
+    /// `CrashReport::default()` as identity.
+    pub fn merge(&mut self, other: &CrashReport) {
+        self.pending_records_lost += other.pending_records_lost;
+        self.pending_preimages_lost += other.pending_preimages_lost;
+        self.chain_len_at_crash += other.chain_len_at_crash;
+    }
+}
+
 /// Outcome of post-crash recovery: the volatile state rebuilt from the two
 /// durable halves (local flash, remote evidence chain).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[must_use]
 pub struct CrashRecovery {
     /// Offloaded segments walked and chain-verified.
@@ -96,6 +107,19 @@ pub struct CrashRecovery {
     /// resequenced, so the remote store only ever sees one continuation of
     /// any head — the chain cannot fork.
     pub resumed_seq: u64,
+}
+
+impl CrashRecovery {
+    /// Folds another member's recovery counters into this one — the
+    /// enclosure/fleet rollup (`resumed_seq` adds, i.e. total durable
+    /// records resumed across members). Associative and commutative, with
+    /// `CrashRecovery::default()` as identity.
+    pub fn merge(&mut self, other: &CrashRecovery) {
+        self.segments_walked += other.segments_walked;
+        self.records_indexed += other.records_indexed;
+        self.versions_indexed += other.versions_indexed;
+        self.resumed_seq += other.resumed_seq;
+    }
 }
 
 /// A fault-tolerant read of the operation history: the longest verifiable

@@ -314,6 +314,18 @@ impl<D: FaultTarget> FaultTarget for FaultInjector<D> {
         self.inner.offload_totals()
     }
 
+    fn nand_totals(&self) -> rssd_flash::NandStats {
+        self.inner.nand_totals()
+    }
+
+    fn ftl_totals(&self) -> rssd_ftl::FtlStats {
+        self.inner.ftl_totals()
+    }
+
+    fn latency_totals(&self) -> rssd_ssd::LatencyStats {
+        self.inner.latency_totals()
+    }
+
     fn remote_fault_totals(&self) -> RemoteFaultStats {
         self.inner.remote_fault_totals()
     }

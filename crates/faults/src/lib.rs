@@ -47,7 +47,9 @@ pub mod target;
 
 pub use injector::{FaultInjector, TornBatch};
 pub use remote::{FaultyRemote, PartitionMode, PermissiveTarget, RemoteFaultStats};
-pub use scenario::{ActorKind, FaultPlan, Scenario, ScenarioMatrix, Scorecard, Topology};
+pub use scenario::{
+    ActorKind, FaultPlan, MatrixSummary, Scenario, ScenarioMatrix, Scorecard, Topology,
+};
 pub use schedule::{FaultEvent, FaultSchedule};
 pub use target::{
     scenario_member, scenario_member_with, FaultError, FaultRemote, FaultTarget, PowerRestoreReport,

@@ -631,6 +631,124 @@ impl ScenarioMatrix {
     }
 }
 
+/// Aggregate rollup over a set of scenario [`Scorecard`]s — the matrix's
+/// merge API, so examples and harnesses fold cell results through one
+/// audited path instead of hand-summing fields (which drifts the moment a
+/// counter is added).
+///
+/// [`MatrixSummary::absorb`] folds one card in; [`MatrixSummary::merge`]
+/// combines two summaries. Both are associative with
+/// `MatrixSummary::default()` as identity, so a summary built per-shard,
+/// per-thread, or per-cell folds to the same totals in any grouping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[must_use]
+pub struct MatrixSummary {
+    /// Cards absorbed.
+    pub cells: u64,
+    /// Cards whose cell ran an attack actor.
+    pub attacked_cells: u64,
+    /// Attacked cards flagged above benign.
+    pub true_positives: u64,
+    /// Benign cards flagged (false alarms).
+    pub false_positives: u64,
+    /// Victim pages across all cards.
+    pub victim_pages: u64,
+    /// Recovered victim pages across all cards.
+    pub recovered_pages: u64,
+    /// Bytes of victim data no card's defender could produce.
+    pub data_loss_bytes: u64,
+    /// Power cuts fired across all cards.
+    pub power_cuts: u64,
+    /// Batches torn mid-execution across all cards.
+    pub torn_batches: u64,
+    /// Attack interruptions absorbed across all cards.
+    pub attack_interruptions: u64,
+    /// Array members revived across all cards.
+    pub shards_revived: u64,
+    /// Segments durably offloaded across all cards.
+    pub segments_offloaded: u64,
+    /// Offloads dropped by silent partitions across all cards.
+    pub offloads_dropped: u64,
+    /// Cards whose chain had a *detected* gap.
+    pub chain_gaps_detected: u64,
+    /// Cards whose chain neither verified nor flagged a gap — must stay 0
+    /// (the "no silent gaps" invariant).
+    pub silent_chain_gaps: u64,
+    /// Fault-free attacked cards (the 100%-recovery obligation set).
+    pub fault_free_attacked: u64,
+    /// Fault-free attacked cards that recovered every victim page.
+    pub fault_free_recovered: u64,
+}
+
+impl MatrixSummary {
+    /// Folds one cell's scorecard into the summary.
+    pub fn absorb(&mut self, card: &Scorecard) {
+        self.cells += 1;
+        if card.victim_pages > 0 || card.true_positive {
+            self.attacked_cells += 1;
+        }
+        self.true_positives += u64::from(card.true_positive);
+        self.false_positives += u64::from(card.false_positive);
+        self.victim_pages += card.victim_pages;
+        self.recovered_pages += card.recovered_pages;
+        self.data_loss_bytes += card.data_loss_bytes;
+        self.power_cuts += card.power_cuts;
+        self.torn_batches += card.torn_batches;
+        self.attack_interruptions += card.attack_interruptions;
+        self.shards_revived += card.shards_revived;
+        self.segments_offloaded += card.segments_offloaded;
+        self.offloads_dropped += card.offloads_dropped;
+        self.chain_gaps_detected += u64::from(card.chain_gap_detected);
+        self.silent_chain_gaps += u64::from(card.chain_verified == card.chain_gap_detected);
+        let fault_free = card.cell.contains("/none/");
+        if fault_free && card.victim_pages > 0 {
+            self.fault_free_attacked += 1;
+            self.fault_free_recovered += u64::from(card.recovery_fraction == 1.0);
+        }
+    }
+
+    /// Combines another summary into this one (fleet-of-matrices rollup).
+    pub fn merge(&mut self, other: &MatrixSummary) {
+        self.cells += other.cells;
+        self.attacked_cells += other.attacked_cells;
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.victim_pages += other.victim_pages;
+        self.recovered_pages += other.recovered_pages;
+        self.data_loss_bytes += other.data_loss_bytes;
+        self.power_cuts += other.power_cuts;
+        self.torn_batches += other.torn_batches;
+        self.attack_interruptions += other.attack_interruptions;
+        self.shards_revived += other.shards_revived;
+        self.segments_offloaded += other.segments_offloaded;
+        self.offloads_dropped += other.offloads_dropped;
+        self.chain_gaps_detected += other.chain_gaps_detected;
+        self.silent_chain_gaps += other.silent_chain_gaps;
+        self.fault_free_attacked += other.fault_free_attacked;
+        self.fault_free_recovered += other.fault_free_recovered;
+    }
+
+    /// Merged recovery fraction over every victim page (1.0 when no card
+    /// had victims) — page-weighted, like the fleet WAF.
+    #[must_use]
+    pub fn recovery_fraction(&self) -> f64 {
+        if self.victim_pages == 0 {
+            return 1.0;
+        }
+        self.recovered_pages as f64 / self.victim_pages as f64
+    }
+
+    /// The CI invariants, evaluated on merged counters: fault-free attacked
+    /// cells all recovered fully, no benign cell false-positived, and no
+    /// chain gap went unflagged.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        self.fault_free_recovered == self.fault_free_attacked
+            && self.false_positives == 0
+            && self.silent_chain_gaps == 0
+    }
+}
+
 /// Brings a cut device back. Recovery walks the remote evidence chain, so
 /// if the cut landed inside an open partition window the first attempt
 /// fails on the unreachable store — a real operator restores the network
@@ -864,4 +982,110 @@ fn run_cell<D: FaultTarget>(mut device: D, scenario: &Scenario) -> Result<Scorec
         offloads_dropped: remote_faults.offloads_dropped,
         skipped_events: device.skipped_event_count(),
     })
+}
+
+#[cfg(test)]
+mod summary_tests {
+    use super::*;
+
+    fn card(cell: &str, victims: u64, recovered: u64, verified: bool, gap: bool) -> Scorecard {
+        Scorecard {
+            cell: cell.to_string(),
+            seed: 1,
+            verdict: if victims > 0 {
+                Verdict::Ransomware
+            } else {
+                Verdict::Benign
+            },
+            detection_score: 0.0,
+            attack_class: String::new(),
+            true_positive: victims > 0,
+            false_positive: false,
+            victim_pages: victims,
+            recovered_pages: recovered,
+            recovery_fraction: if victims == 0 {
+                1.0
+            } else {
+                recovered as f64 / victims as f64
+            },
+            data_loss_bytes: (victims - recovered) * 4096,
+            chain_verified: verified,
+            chain_gap_detected: gap,
+            records_audited: 10,
+            power_cuts: 1,
+            torn_batches: 0,
+            attack_interruptions: 2,
+            shards_revived: 0,
+            segments_offloaded: 3,
+            offload_failures: 0,
+            offloads_queued: 0,
+            offloads_replayed: 0,
+            offloads_dropped: 1,
+            skipped_events: 0,
+        }
+    }
+
+    #[test]
+    fn default_is_identity_for_merge() {
+        let mut s = MatrixSummary::default();
+        s.absorb(&card("text/none/none/bare", 8, 8, true, false));
+        let mut left = s;
+        left.merge(&MatrixSummary::default());
+        let mut right = MatrixSummary::default();
+        right.merge(&s);
+        assert_eq!(left, s);
+        assert_eq!(right, s);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_absorb_order() {
+        let cards = [
+            card("text/overwrite/none/bare", 8, 8, true, false),
+            card("media/none/cuts/array", 0, 0, true, false),
+            card("sql/trim/drop/array", 6, 4, false, true),
+        ];
+        // One summary absorbing everything...
+        let mut whole = MatrixSummary::default();
+        for c in &cards {
+            whole.absorb(c);
+        }
+        // ...equals per-card summaries merged in either grouping.
+        let parts: Vec<MatrixSummary> = cards
+            .iter()
+            .map(|c| {
+                let mut s = MatrixSummary::default();
+                s.absorb(c);
+                s
+            })
+            .collect();
+        let mut left = parts[0];
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut tail = parts[1];
+        tail.merge(&parts[2]);
+        let mut right = parts[0];
+        right.merge(&tail);
+        assert_eq!(left, whole);
+        assert_eq!(right, whole);
+    }
+
+    #[test]
+    fn invariants_catch_silent_gap_and_lossy_fault_free_cell() {
+        let mut clean = MatrixSummary::default();
+        clean.absorb(&card("text/overwrite/none/bare", 8, 8, true, false));
+        assert!(clean.invariants_hold());
+        assert_eq!(clean.fault_free_attacked, 1);
+        assert_eq!(clean.recovery_fraction(), 1.0);
+
+        // Chain neither verified nor flagged: silent gap, invariant fails.
+        let mut silent = MatrixSummary::default();
+        silent.absorb(&card("sql/trim/drop/array", 6, 6, false, false));
+        assert!(!silent.invariants_hold());
+
+        // Fault-free cell that lost pages: recovery obligation fails.
+        let mut lossy = MatrixSummary::default();
+        lossy.absorb(&card("media/random/none/bare", 8, 5, true, false));
+        assert!(!lossy.invariants_hold());
+        assert!(lossy.recovery_fraction() < 1.0);
+    }
 }

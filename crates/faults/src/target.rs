@@ -17,9 +17,10 @@ use rssd_array::{ArrayError, RssdArray, ShardStatus};
 use rssd_core::{
     HistoryAudit, LoopbackTarget, OffloadStats, RemoteTarget, RssdConfig, RssdDevice, WireRemote,
 };
-use rssd_flash::{FlashGeometry, NandTiming, SimClock};
+use rssd_flash::{FlashGeometry, NandStats, NandTiming, SimClock};
+use rssd_ftl::FtlStats;
 use rssd_net::LinkConfig;
-use rssd_ssd::BlockDevice;
+use rssd_ssd::{BlockDevice, LatencyStats};
 use serde::{Deserialize, Serialize};
 
 /// Failures of fault-control operations.
@@ -286,6 +287,16 @@ pub trait FaultTarget: BlockDevice {
     /// Offload counters (fleet-merged for arrays).
     fn offload_totals(&self) -> OffloadStats;
 
+    /// Raw NAND counters (fleet-merged for arrays via
+    /// [`NandStats::merge`]).
+    fn nand_totals(&self) -> NandStats;
+
+    /// FTL counters (fleet-merged for arrays via [`FtlStats::merge`]).
+    fn ftl_totals(&self) -> FtlStats;
+
+    /// Device-side latency distribution (fleet-merged for arrays).
+    fn latency_totals(&self) -> LatencyStats;
+
     /// Remote fault-injection counters (fleet-merged for arrays).
     fn remote_fault_totals(&self) -> RemoteFaultStats {
         RemoteFaultStats::default()
@@ -355,6 +366,18 @@ impl<R: FaultRemote> FaultTarget for RssdDevice<R> {
 
     fn offload_totals(&self) -> OffloadStats {
         self.offload_stats()
+    }
+
+    fn nand_totals(&self) -> NandStats {
+        self.nand_stats().clone()
+    }
+
+    fn ftl_totals(&self) -> FtlStats {
+        *self.ftl_stats()
+    }
+
+    fn latency_totals(&self) -> LatencyStats {
+        self.latency().clone()
     }
 
     fn remote_fault_totals(&self) -> RemoteFaultStats {
@@ -471,6 +494,18 @@ impl<R: FaultRemote> FaultTarget for RssdArray<RssdDevice<R>> {
 
     fn offload_totals(&self) -> OffloadStats {
         self.offload_stats()
+    }
+
+    fn nand_totals(&self) -> NandStats {
+        self.nand_stats()
+    }
+
+    fn ftl_totals(&self) -> FtlStats {
+        self.ftl_stats()
+    }
+
+    fn latency_totals(&self) -> LatencyStats {
+        self.latency()
     }
 
     fn remote_fault_totals(&self) -> RemoteFaultStats {

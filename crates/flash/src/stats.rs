@@ -92,6 +92,35 @@ impl NandStats {
             .collect()
     }
 
+    /// Folds another device's counters into this one — the fleet rollup.
+    ///
+    /// Scalar counters and cumulative op times add. `channel_busy_ns` adds
+    /// element-wise by channel index (the vector grows to the wider of the
+    /// two devices): each entry is already an interval *union* over one
+    /// device's own timeline, and two share-nothing devices live on
+    /// independent simulated timelines, so there is no cross-device overlap
+    /// to union away — the sum is the fleet's total busy time on channel
+    /// `i`, and `merge` stays associative and commutative with
+    /// [`NandStats::default`] as identity. (Within one device the union is
+    /// computed at record time by the unit pipelines; `merge` must never be
+    /// used to combine two snapshots of the *same* device's channels, which
+    /// would double-count their shared timeline.)
+    pub fn merge(&mut self, other: &NandStats) {
+        self.reads += other.reads;
+        self.programs += other.programs;
+        self.erases += other.erases;
+        self.background_reads += other.background_reads;
+        self.read_time_ns += other.read_time_ns;
+        self.program_time_ns += other.program_time_ns;
+        self.erase_time_ns += other.erase_time_ns;
+        if self.channel_busy_ns.len() < other.channel_busy_ns.len() {
+            self.channel_busy_ns.resize(other.channel_busy_ns.len(), 0);
+        }
+        for (slot, &busy) in self.channel_busy_ns.iter_mut().zip(&other.channel_busy_ns) {
+            *slot += busy;
+        }
+    }
+
     pub(crate) fn record_background_read(&mut self) {
         self.background_reads += 1;
     }
@@ -153,5 +182,56 @@ mod tests {
         let mut s = NandStats::for_channels(1);
         s.record_channel_busy(0, 500);
         assert_eq!(s.channel_utilization(100), vec![1.0]);
+    }
+
+    fn sample(channels: u32, base: u64) -> NandStats {
+        let mut s = NandStats::for_channels(channels);
+        s.record_read(base);
+        s.record_program(base * 2);
+        s.record_erase(base * 3);
+        s.record_background_read();
+        for c in 0..channels {
+            s.record_channel_busy(c, base + u64::from(c));
+        }
+        s
+    }
+
+    #[test]
+    fn merge_identity() {
+        let a = sample(4, 100);
+        let mut merged = a.clone();
+        merged.merge(&NandStats::default());
+        assert_eq!(merged, a);
+        let mut from_empty = NandStats::default();
+        from_empty.merge(&a);
+        assert_eq!(from_empty, a);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (sample(2, 10), sample(4, 100), sample(3, 1_000));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc, "merge must be associative");
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba, "merge must be commutative");
+    }
+
+    #[test]
+    fn merge_widens_the_channel_vector() {
+        let mut narrow = sample(1, 10);
+        let wide = sample(3, 100);
+        narrow.merge(&wide);
+        assert_eq!(narrow.channel_busy_ns(), &[110, 101, 102]);
+        assert_eq!(narrow.reads(), 2);
+        assert_eq!(narrow.total_busy_ns(), 6 * 10 + 6 * 100);
     }
 }

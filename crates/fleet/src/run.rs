@@ -1,0 +1,236 @@
+//! The fleet harness: a share-nothing worker pool over members and the
+//! member-id-ordered merge that makes worker count invisible in the result.
+
+use crate::config::FleetConfig;
+use crate::member::{run_member, FleetError, MemberOutcome};
+use crate::report::FleetReport;
+use rssd_core::OffloadStats;
+use rssd_detect::{merge_time_ordered, Ensemble, Verdict};
+use rssd_flash::NandStats;
+use rssd_ftl::FtlStats;
+use rssd_ssd::{LatencyStats, QueuePairStats};
+use rssd_trace::ReplayStats;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Namespace stride separating members' logical pages in the fused
+/// detection stream: member `m`'s page `p` appears as `(m << 32) | p`, so
+/// per-page detector state never conflates pages of different members.
+const FLEET_LPA_STRIDE: u64 = 1 << 32;
+
+/// A parallel fleet of independent RSSD members.
+///
+/// `Fleet` owns nothing but its [`FleetConfig`]; [`Fleet::run`] builds
+/// every member inside a worker thread, executes it to completion, and
+/// merges the outcomes **in member-id order** into a [`FleetReport`].
+///
+/// # Determinism contract
+///
+/// Member `m`'s entire run derives from `(config.seed, m)` — see
+/// [`member_seed`](crate::member_seed) — and no member shares state with
+/// another, so the only scheduling freedom worker threads have is the
+/// *order in which finished outcomes appear*. The merge removes that
+/// freedom by sorting on member id before folding. A run with
+/// `workers = 8` is therefore byte-identical to the same config with
+/// `workers = 1`; the crate's property tests pin this.
+#[derive(Clone, Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// A fleet with the given shape.
+    #[must_use]
+    pub fn new(config: FleetConfig) -> Self {
+        Fleet { config }
+    }
+
+    /// The fleet's configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs every member on the configured worker pool and merges the
+    /// outcomes into the fleet report.
+    ///
+    /// # Errors
+    ///
+    /// The lowest-id [`FleetError`] of any failed member; healthy members'
+    /// work is discarded in that case (runs are cheap and deterministic).
+    pub fn run(&self) -> Result<FleetReport, FleetError> {
+        let members = self.config.members;
+        let workers = self.config.workers.clamp(1, members.max(1));
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, Result<MemberOutcome, FleetError>)>> =
+            Mutex::new(Vec::with_capacity(members));
+
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let id = next.fetch_add(1, Ordering::Relaxed);
+                    if id >= members {
+                        break;
+                    }
+                    let outcome = run_member(&self.config, id);
+                    results
+                        .lock()
+                        .expect("a fleet worker panicked while holding the results lock")
+                        .push((id, outcome));
+                });
+            }
+        });
+
+        let mut outcomes = results
+            .into_inner()
+            .expect("a fleet worker panicked while holding the results lock");
+        outcomes.sort_by_key(|(id, _)| *id);
+        let mut ordered = Vec::with_capacity(outcomes.len());
+        for (_, outcome) in outcomes {
+            ordered.push(outcome?);
+        }
+        Ok(self.merge(ordered))
+    }
+
+    /// Folds member outcomes (already in member-id order) into the report.
+    fn merge(&self, outcomes: Vec<MemberOutcome>) -> FleetReport {
+        let mut nand = NandStats::default();
+        let mut ftl = FtlStats::default();
+        let mut offload = OffloadStats::default();
+        let mut latency = LatencyStats::new();
+        let mut queues = QueuePairStats::default();
+        let mut replay = ReplayStats::default();
+        let mut sim_end_ns = 0u64;
+        let mut compromised_members = Vec::new();
+        let mut detected_members = Vec::new();
+        let mut true_positives = 0usize;
+        let mut false_positives = 0usize;
+        let mut missed = 0usize;
+        let mut streams: Vec<Vec<_>> = Vec::with_capacity(outcomes.len());
+        let mut scorecards = Vec::with_capacity(outcomes.len());
+
+        for outcome in outcomes {
+            nand.merge(&outcome.nand);
+            ftl.merge(&outcome.ftl);
+            offload.merge(&outcome.offload);
+            latency.merge(&outcome.latency);
+            queues.merge(&outcome.queues);
+            replay.merge(&outcome.replay);
+            let card = outcome.scorecard;
+            sim_end_ns = sim_end_ns.max(card.sim_end_ns);
+            let flagged = card.verdict != Verdict::Benign;
+            if card.compromised {
+                compromised_members.push(card.member);
+                if flagged {
+                    true_positives += 1;
+                } else {
+                    missed += 1;
+                }
+            } else if flagged {
+                false_positives += 1;
+            }
+            if flagged {
+                detected_members.push(card.member);
+            }
+            let base = card.member as u64 * FLEET_LPA_STRIDE;
+            streams.push(
+                outcome
+                    .observations
+                    .into_iter()
+                    .map(|mut obs| {
+                        obs.lpa += base;
+                        obs
+                    })
+                    .collect(),
+            );
+            scorecards.push(card);
+        }
+
+        let fused = merge_time_ordered(&streams);
+        let mut ensemble = Ensemble::new();
+        ensemble.observe_all(fused.iter());
+
+        FleetReport {
+            members: self.config.members,
+            tenants: self.config.tenants,
+            nand,
+            ftl,
+            offload,
+            latency,
+            queues,
+            total_ops: replay.records,
+            replay,
+            sim_end_ns,
+            fleet_verdict: ensemble.verdict(),
+            fleet_score: ensemble.score(),
+            observations: ensemble.observations(),
+            compromised_members,
+            detected_members,
+            true_positives,
+            false_positives,
+            missed,
+            scorecards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetConfig {
+        FleetConfig {
+            members: 6,
+            ops_per_member: 60,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn report_covers_every_member_in_order() {
+        let report = Fleet::new(tiny()).run().unwrap();
+        assert_eq!(report.scorecards.len(), 6);
+        let ids: Vec<usize> = report.scorecards.iter().map(|c| c.member).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert!(report.total_ops > 0);
+        assert!(report.simulated_iops() > 0.0);
+        assert!(report.nand.programs() > 0);
+        assert!(report.offload.segments_offloaded > 0);
+    }
+
+    #[test]
+    fn detection_counters_are_consistent() {
+        let report = Fleet::new(FleetConfig {
+            members: 24,
+            ops_per_member: 60,
+            ..FleetConfig::default()
+        })
+        .run()
+        .unwrap();
+        assert_eq!(
+            report.true_positives + report.missed,
+            report.compromised_members.len()
+        );
+        assert_eq!(
+            report.detected_members.len(),
+            report.true_positives + report.false_positives
+        );
+        assert!(report.detection_recall() > 0.0, "no compromise detected");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let base = tiny();
+        let one = Fleet::new(FleetConfig {
+            workers: 1,
+            ..base.clone()
+        })
+        .run()
+        .unwrap();
+        let four = Fleet::new(FleetConfig { workers: 4, ..base })
+            .run()
+            .unwrap();
+        assert_eq!(one, four);
+    }
+}

@@ -36,6 +36,20 @@ impl FtlStats {
         }
         (self.host_pages_written + self.gc_pages_migrated) as f64 / self.host_pages_written as f64
     }
+
+    /// Folds another FTL's counters into this one — the fleet rollup.
+    /// Associative and commutative, with `FtlStats::default()` as identity;
+    /// [`FtlStats::write_amplification`] of the merged counters is the
+    /// page-weighted fleet aggregate, not the mean of per-device WAFs.
+    pub fn merge(&mut self, other: &FtlStats) {
+        self.host_pages_written += other.host_pages_written;
+        self.host_pages_read += other.host_pages_read;
+        self.gc_pages_migrated += other.gc_pages_migrated;
+        self.gc_blocks_erased += other.gc_blocks_erased;
+        self.gc_invocations += other.gc_invocations;
+        self.pages_trimmed += other.pages_trimmed;
+        self.write_stalls += other.write_stalls;
+    }
 }
 
 #[cfg(test)]
@@ -64,5 +78,48 @@ mod tests {
     #[test]
     fn waf_defined_when_empty() {
         assert_eq!(FtlStats::default().write_amplification(), 1.0);
+    }
+
+    fn sample(base: u64) -> FtlStats {
+        FtlStats {
+            host_pages_written: base,
+            host_pages_read: base * 2,
+            gc_pages_migrated: base / 2,
+            gc_blocks_erased: base / 4,
+            gc_invocations: base / 8,
+            pages_trimmed: base / 3,
+            write_stalls: base / 16,
+        }
+    }
+
+    #[test]
+    fn merge_identity_and_associativity() {
+        let (a, b, c) = (sample(16), sample(160), sample(1_600));
+        let mut with_identity = a;
+        with_identity.merge(&FtlStats::default());
+        assert_eq!(with_identity, a);
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn merged_waf_is_page_weighted() {
+        let mut fleet = FtlStats {
+            host_pages_written: 100,
+            gc_pages_migrated: 0,
+            ..FtlStats::default()
+        };
+        fleet.merge(&FtlStats {
+            host_pages_written: 100,
+            gc_pages_migrated: 100,
+            ..FtlStats::default()
+        });
+        assert!((fleet.write_amplification() - 1.5).abs() < 1e-12);
     }
 }

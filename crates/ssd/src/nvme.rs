@@ -325,7 +325,7 @@ impl CompletionQueue {
 /// Per-queue-pair accounting: command mix, errors, and queue latency
 /// (submission to completion, including queueing delay — distinct from the
 /// device-side service latency in e.g. `PlainSsd::latency`).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 #[must_use]
 pub struct QueuePairStats {
     /// Commands accepted into the submission queue.

@@ -61,7 +61,7 @@ fn bucket_upper_edge(index: usize) -> u64 {
 /// assert_eq!(stats.count(), 2);
 /// assert!(stats.mean_ns() > 1_000.0);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 #[must_use]
 pub struct LatencyStats {
     buckets: Vec<u64>,

@@ -27,5 +27,5 @@ pub mod zipf;
 pub use profiles::TraceProfile;
 pub use record::{synthesize_page, IoOp, IoRecord, PayloadKind};
 pub use replay::{replay, replay_fanout, replay_queued, ReplayOutcome, ReplayStats};
-pub use synth::{Workload, WorkloadBuilder};
+pub use synth::{DiurnalLoad, Workload, WorkloadBuilder};
 pub use zipf::Zipf;

@@ -130,6 +130,20 @@ impl TraceProfile {
     /// pages of `page_size` bytes, paced so the scaled daily write volume is
     /// met.
     pub fn workload(&self, logical_pages: u64, page_size: usize, seed: u64) -> Workload {
+        self.workload_builder(logical_pages, page_size, seed)
+            .build()
+    }
+
+    /// The calibrated [`WorkloadBuilder`] behind [`TraceProfile::workload`],
+    /// for callers that want to tweak the stream before building — e.g.
+    /// attach [`DiurnalLoad`](crate::synth::DiurnalLoad) modulation for a
+    /// fleet tenant.
+    pub fn workload_builder(
+        &self,
+        logical_pages: u64,
+        page_size: usize,
+        seed: u64,
+    ) -> WorkloadBuilder {
         let capacity = logical_pages * page_size as u64;
         let daily_bytes = self.daily_write_bytes(capacity);
         let write_pages_per_day = daily_bytes / page_size as f64;
@@ -154,7 +168,6 @@ impl TraceProfile {
                 (PayloadKind::Zero, zero_weight),
                 (PayloadKind::Random, self.random_weight),
             ])
-            .build()
     }
 }
 

@@ -43,6 +43,26 @@ pub struct ReplayStats {
     pub end_ns: u64,
 }
 
+impl ReplayStats {
+    /// Folds another replay's counters into this one — used both to stitch
+    /// resumed replays (a power cut splits one trace into several partial
+    /// replays of the same device) and for the fleet rollup across members.
+    /// Counters add; `end_ns` takes the maximum, which is the fleet's
+    /// completion time under the share-nothing model (members run in
+    /// parallel on independent timelines, so the slowest stream bounds the
+    /// merged replay). Associative and commutative, with
+    /// `ReplayStats::default()` as identity.
+    pub fn merge(&mut self, other: &ReplayStats) {
+        self.records += other.records;
+        self.pages_read += other.pages_read;
+        self.pages_written += other.pages_written;
+        self.pages_trimmed += other.pages_trimmed;
+        self.stalls += other.stalls;
+        self.errors += other.errors;
+        self.end_ns = self.end_ns.max(other.end_ns);
+    }
+}
+
 /// Outcome of a replay.
 #[derive(Debug)]
 #[must_use]
@@ -648,5 +668,42 @@ mod tests {
         assert_eq!(controller.outstanding(queue), 0);
         assert!(controller.submission_queue(queue).is_empty());
         assert!(controller.completion_queue(queue).is_empty());
+    }
+
+    fn stats_sample(base: u64) -> ReplayStats {
+        ReplayStats {
+            records: base,
+            pages_read: base * 2,
+            pages_written: base * 3,
+            pages_trimmed: base / 2,
+            stalls: base / 4,
+            errors: base / 8,
+            end_ns: base * 1_000,
+        }
+    }
+
+    #[test]
+    fn stats_merge_identity_and_associativity() {
+        let (a, b, c) = (stats_sample(8), stats_sample(80), stats_sample(800));
+        let mut with_identity = a;
+        with_identity.merge(&ReplayStats::default());
+        assert_eq!(with_identity, a);
+        let mut ab_c = a;
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn stats_merge_takes_the_slowest_end() {
+        let mut fast = stats_sample(8);
+        let slow = stats_sample(80);
+        fast.merge(&slow);
+        assert_eq!(fast.end_ns, 80_000);
+        assert_eq!(fast.records, 88);
     }
 }

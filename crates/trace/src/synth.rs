@@ -5,6 +5,121 @@ use crate::zipf::Zipf;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+const NS_PER_DAY: u64 = 86_400 * 1_000_000_000;
+
+/// Diurnal load modulation: a seeded day-curve that scales the arrival
+/// rate over simulated time, so a tenant's traffic peaks during its
+/// business hours and troughs overnight.
+///
+/// The curve is a fundamental-plus-second-harmonic sinusoid whose harmonic
+/// weights and phases are derived from the seed (every tenant's day looks
+/// a little different), shifted by a per-tenant phase offset (tenants in
+/// different time zones peak at different simulated hours). The multiplier
+/// is a pure function of the record timestamp: attaching it to a
+/// [`WorkloadBuilder`] draws **no extra RNG values**, and a builder without
+/// it is byte-identical to the pre-diurnal generator (pinned by the
+/// `flat_rate_regression` test).
+///
+/// # Examples
+///
+/// ```
+/// use rssd_trace::synth::DiurnalLoad;
+/// use rssd_trace::WorkloadBuilder;
+///
+/// // Two tenants on the same seeded day-curve, half a day out of phase.
+/// let day = DiurnalLoad::seeded(9);
+/// let night = DiurnalLoad::seeded(9).with_phase_fraction(0.5);
+/// assert_ne!(day.rate_multiplier(0), night.rate_multiplier(0));
+///
+/// let records: Vec<_> = WorkloadBuilder::new(4096)
+///     .seed(7)
+///     .ops_per_second(100.0)
+///     .diurnal(day)
+///     .build()
+///     .take(50)
+///     .collect();
+/// assert_eq!(records.len(), 50);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DiurnalLoad {
+    /// Weight of the fundamental (one cycle per day), `0.0..=0.9`.
+    amplitude: f64,
+    /// Weight of the second harmonic (two cycles per day).
+    harmonic: f64,
+    /// Phase of the fundamental in nanoseconds.
+    phase_ns: u64,
+    /// Phase of the second harmonic in nanoseconds.
+    harmonic_phase_ns: u64,
+    /// Length of one cycle in nanoseconds.
+    period_ns: u64,
+}
+
+impl DiurnalLoad {
+    /// Builds a day-curve from a seed: the harmonic weights and both
+    /// phases are scattered from `seed`, so distinct seeds give distinct
+    /// (but equally plausible) daily shapes.
+    pub fn seeded(seed: u64) -> Self {
+        let mix = |salt: u64| {
+            let mut z = seed.wrapping_add(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let unit = |salt: u64| (mix(salt) >> 11) as f64 / (1u64 << 53) as f64;
+        DiurnalLoad {
+            amplitude: 0.35 + 0.3 * unit(1),
+            harmonic: 0.05 + 0.15 * unit(2),
+            phase_ns: mix(3) % NS_PER_DAY,
+            harmonic_phase_ns: mix(4) % NS_PER_DAY,
+            period_ns: NS_PER_DAY,
+        }
+    }
+
+    /// Shifts the whole curve by `fraction` of a period (`0.0..1.0`) — the
+    /// per-tenant offset: tenant *t* of *n* passes `t / n` so the fleet's
+    /// peaks spread around the clock.
+    pub fn with_phase_fraction(mut self, fraction: f64) -> Self {
+        let shift = (fraction.rem_euclid(1.0) * self.period_ns as f64) as u64;
+        self.phase_ns = (self.phase_ns + shift) % self.period_ns;
+        self.harmonic_phase_ns = (self.harmonic_phase_ns + shift) % self.period_ns;
+        self
+    }
+
+    /// Overrides the fundamental's weight (clamped to `0.0..=0.9` so the
+    /// rate never collapses to zero).
+    pub fn with_amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Overrides the cycle length (default: one simulated day).
+    pub fn with_period_ns(mut self, period_ns: u64) -> Self {
+        self.period_ns = period_ns.max(1);
+        self
+    }
+
+    /// Length of one cycle in nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// The instantaneous rate multiplier at simulated time `at_ns`: the
+    /// configured `ops_per_second` is scaled by this value, which averages
+    /// ~1.0 over a full cycle and is floored at 0.05 (the overnight trough
+    /// never stops the stream entirely).
+    pub fn rate_multiplier(&self, at_ns: u64) -> f64 {
+        let turn = |t: u64, phase: u64, cycles: f64| {
+            let pos = (t % self.period_ns) as f64 / self.period_ns as f64;
+            let shift = phase as f64 / self.period_ns as f64;
+            (cycles * (pos + shift) * std::f64::consts::TAU).sin()
+        };
+        let m = 1.0
+            + self.amplitude * turn(at_ns, self.phase_ns, 1.0)
+            + self.harmonic * turn(at_ns, self.harmonic_phase_ns, 2.0);
+        m.max(0.05)
+    }
+}
+
 /// Builder for a synthetic block workload.
 ///
 /// # Examples
@@ -35,6 +150,7 @@ pub struct WorkloadBuilder {
     ops_per_second: f64,
     start_ns: u64,
     payload_mix: Vec<(PayloadKind, f64)>,
+    diurnal: Option<DiurnalLoad>,
 }
 
 impl WorkloadBuilder {
@@ -57,6 +173,7 @@ impl WorkloadBuilder {
                 (PayloadKind::Zero, 0.10),
                 (PayloadKind::Random, 0.10),
             ],
+            diurnal: None,
         }
     }
 
@@ -118,6 +235,14 @@ impl WorkloadBuilder {
     pub fn payload_mix(mut self, mix: Vec<(PayloadKind, f64)>) -> Self {
         assert!(!mix.is_empty(), "payload mix must not be empty");
         self.payload_mix = mix;
+        self
+    }
+
+    /// Attaches diurnal load modulation: `ops_per_second` becomes the mean
+    /// rate of a seeded day-curve instead of a flat rate. Without this the
+    /// stream is byte-identical to the unmodulated generator.
+    pub fn diurnal(mut self, curve: DiurnalLoad) -> Self {
+        self.diurnal = Some(curve);
         self
     }
 
@@ -183,9 +308,15 @@ impl Iterator for Workload {
     type Item = IoRecord;
 
     fn next(&mut self) -> Option<IoRecord> {
-        // Exponential inter-arrival around the configured rate.
+        // Exponential inter-arrival around the configured rate. The
+        // diurnal multiplier is a pure function of the current timestamp —
+        // no extra RNG draw — so the unmodulated path stays byte-identical
+        // to the pre-diurnal generator.
         let u: f64 = self.rng.gen::<f64>().max(1e-12);
-        let gap_s = -u.ln() / self.builder.ops_per_second;
+        let mut gap_s = -u.ln() / self.builder.ops_per_second;
+        if let Some(curve) = &self.builder.diurnal {
+            gap_s /= curve.rate_multiplier(self.next_ns);
+        }
         self.next_ns += (gap_s * 1e9) as u64;
 
         // Geometric request size with the configured mean.
@@ -291,6 +422,86 @@ mod tests {
             100,
         );
         assert!(slow.last().unwrap().at_ns > fast.last().unwrap().at_ns * 100);
+    }
+
+    #[test]
+    fn flat_rate_regression() {
+        // Golden records captured from the generator before diurnal
+        // modulation existed: a builder without `.diurnal(..)` must keep
+        // producing exactly this stream, timestamps included.
+        let golden = [
+            (IoOp::Read, 0u64, 1u32, 10615391314449192839u64, 597985u64),
+            (IoOp::Write, 551, 1, 3569362060062839708, 880586),
+            (IoOp::Read, 0, 4, 14970076879386038193, 2295122),
+            (IoOp::Write, 0, 2, 7924047624999685062, 3040305),
+            (IoOp::Read, 30, 9, 878018370613331931, 3637172),
+            (IoOp::Read, 221, 2, 12278733189936530416, 8409823),
+        ];
+        let recs = sample(
+            WorkloadBuilder::new(4096)
+                .seed(42)
+                .ops_per_second(500.0)
+                .read_fraction(0.3)
+                .trim_fraction(0.05),
+            golden.len(),
+        );
+        for (r, g) in recs.iter().zip(&golden) {
+            assert_eq!((r.op, r.lpa, r.pages, r.payload_seed, r.at_ns), *g);
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_changes_pacing_only() {
+        let flat = sample(WorkloadBuilder::new(1024).seed(5), 500);
+        let shaped = sample(
+            WorkloadBuilder::new(1024)
+                .seed(5)
+                .diurnal(DiurnalLoad::seeded(1)),
+            500,
+        );
+        // Same RNG sequence: op/lpa/size/payload identical, only timing moves.
+        for (f, s) in flat.iter().zip(&shaped) {
+            assert_eq!(
+                (f.op, f.lpa, f.pages, f.payload_seed),
+                (s.op, s.lpa, s.pages, s.payload_seed)
+            );
+        }
+        assert!(flat.iter().zip(&shaped).any(|(f, s)| f.at_ns != s.at_ns));
+    }
+
+    #[test]
+    fn diurnal_peaks_and_troughs_move_with_phase() {
+        let curve = DiurnalLoad::seeded(7);
+        let shifted = curve.with_phase_fraction(0.5);
+        let day = curve.period_ns();
+        let mut diverged = false;
+        for hour in 0..24u64 {
+            let t = hour * day / 24;
+            let (a, b) = (curve.rate_multiplier(t), shifted.rate_multiplier(t));
+            assert!(a >= 0.05 && b >= 0.05, "floored multipliers");
+            if (a - b).abs() > 1e-9 {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "a half-day phase shift must move the curve");
+    }
+
+    #[test]
+    fn diurnal_mean_rate_is_close_to_flat() {
+        // Over many whole cycles the modulated stream must pace near the
+        // configured mean rate: the curve reshapes the day, not the volume.
+        let curve = DiurnalLoad::seeded(3).with_period_ns(1_000_000_000);
+        let recs = sample(
+            WorkloadBuilder::new(1024)
+                .seed(8)
+                .ops_per_second(10_000.0)
+                .diurnal(curve),
+            50_000,
+        );
+        let span_s = recs.last().unwrap().at_ns as f64 / 1e9;
+        let measured = recs.len() as f64 / span_s;
+        let ratio = measured / 10_000.0;
+        assert!((0.7..1.4).contains(&ratio), "mean-rate ratio {ratio}");
     }
 
     #[test]

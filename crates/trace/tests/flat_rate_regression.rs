@@ -1,0 +1,70 @@
+//! Pins the default (flat-rate) workload stream byte for byte.
+//!
+//! The diurnal-modulation satellite must not perturb the un-modulated
+//! path: a builder with no [`DiurnalLoad`] attached draws the exact same
+//! RNG sequence and emits the exact same records as the generator did
+//! before modulation existed. The constants below were captured from the
+//! pre-diurnal generator; any change to them is a breaking change to
+//! every seeded experiment in the repo.
+//!
+//! [`DiurnalLoad`]: rssd_trace::synth::DiurnalLoad
+
+use rssd_trace::{IoOp, IoRecord, WorkloadBuilder};
+
+/// FNV-1a over every field of every record — order-sensitive, so a single
+/// shifted arrival time or swapped op changes the digest.
+fn digest(records: &[IoRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for r in records {
+        mix(r.at_ns);
+        mix(match r.op {
+            IoOp::Read => 1,
+            IoOp::Write => 2,
+            IoOp::Trim => 3,
+        });
+        mix(r.lpa);
+        mix(u64::from(r.pages));
+        mix(r.payload_seed);
+    }
+    h
+}
+
+#[test]
+fn default_builder_stream_is_pinned() {
+    let records: Vec<IoRecord> = WorkloadBuilder::new(4096)
+        .seed(5)
+        .build()
+        .take(256)
+        .collect();
+    assert_eq!(
+        digest(&records),
+        17_772_939_638_837_874_378,
+        "flat-rate default stream drifted from the pre-diurnal generator"
+    );
+}
+
+#[test]
+fn tuned_builder_stream_is_pinned() {
+    let records: Vec<IoRecord> = WorkloadBuilder::new(65_536)
+        .seed(42)
+        .read_fraction(0.3)
+        .trim_fraction(0.1)
+        .sequential_fraction(0.25)
+        .zipf_theta(1.1)
+        .working_set_fraction(0.05)
+        .mean_request_pages(4)
+        .ops_per_second(500.0)
+        .start_ns(1_000_000)
+        .build()
+        .take(256)
+        .collect();
+    assert_eq!(
+        digest(&records),
+        6_221_462_592_427_588_055,
+        "tuned flat-rate stream drifted from the pre-diurnal generator"
+    );
+}

@@ -348,7 +348,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(report.fleet_verdict, Verdict::Ransomware);
 
+    // Merged fleet reporting rides the array's merge accessors — the same
+    // interval-union-aware NandStats::merge the fleet harness uses — so the
+    // totals here agree with any per-shard breakdown by construction.
     let offload = array.offload_stats();
+    let nand = array.nand_stats();
+    let ftl = array.ftl_stats();
     println!(
         "merged array stats: {} segments offloaded ({} retained pages, {:.1}x compression), \
          {} chain records across {} live shards",
@@ -357,6 +362,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         offload.compression_ratio(),
         array.chain_len(),
         array.shard_count(),
+    );
+    println!(
+        "merged NAND/FTL:    {} programs, {} reads, {} erases; WAF {:.2}",
+        nand.programs(),
+        nand.reads(),
+        nand.erases(),
+        ftl.write_amplification(),
     );
     Ok(())
 }

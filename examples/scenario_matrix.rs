@@ -11,7 +11,7 @@
 //! cargo run --example scenario_matrix
 //! ```
 
-use rssd_repro::faults::{ScenarioMatrix, Verdict};
+use rssd_repro::faults::{MatrixSummary, ScenarioMatrix, Verdict};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matrix = ScenarioMatrix::curated();
@@ -57,19 +57,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cards.push(card);
     }
 
-    // The invariants CI enforces, restated here as a readable summary.
-    let fault_free_total = cards
-        .iter()
-        .filter(|c| c.cell.contains("/none/") && c.victim_pages > 0)
-        .all(|c| c.recovery_fraction == 1.0);
-    let no_false_positives = cards.iter().all(|c| !c.false_positive);
-    let no_silent_gaps = cards
-        .iter()
-        .all(|c| c.chain_verified != c.chain_gap_detected);
-    println!("\nfault-free cells recover 100%:      {fault_free_total}");
-    println!("benign cells false-positive free:   {no_false_positives}");
-    println!("every chain verified or gap flagged: {no_silent_gaps}");
-    assert!(fault_free_total && no_false_positives && no_silent_gaps);
+    // The invariants CI enforces, folded through the matrix's merge API
+    // rather than hand-summed here (so this summary and the CI gate can
+    // never drift apart).
+    let mut summary = MatrixSummary::default();
+    for card in &cards {
+        summary.absorb(card);
+    }
+    println!(
+        "\nmerged: {}/{} cells attacked, {} victim pages, {:.0}% recovered, \
+         {} power cuts, {} offloads dropped, {} chain gaps flagged",
+        summary.attacked_cells,
+        summary.cells,
+        summary.victim_pages,
+        100.0 * summary.recovery_fraction(),
+        summary.power_cuts,
+        summary.offloads_dropped,
+        summary.chain_gaps_detected,
+    );
+    println!(
+        "fault-free cells recover 100%:      {}",
+        summary.fault_free_recovered == summary.fault_free_attacked
+    );
+    println!(
+        "benign cells false-positive free:   {}",
+        summary.false_positives == 0
+    );
+    println!(
+        "every chain verified or gap flagged: {}",
+        summary.silent_chain_gaps == 0
+    );
+    assert!(summary.invariants_hold());
 
     let rows = ScenarioMatrix::bench_rows(&cards);
     let path = rssd_repro::bench_support::write_bench_json("scenarios", &rows)?;

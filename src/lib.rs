@@ -13,6 +13,7 @@ pub use rssd_crypto as crypto;
 pub use rssd_detect as detect;
 pub use rssd_faults as faults;
 pub use rssd_flash as flash;
+pub use rssd_fleet as fleet;
 pub use rssd_ftl as ftl;
 pub use rssd_net as net;
 pub use rssd_remote as remote;

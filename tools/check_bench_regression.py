@@ -12,9 +12,13 @@ fails the build unless the device-internal parallelism holds:
 * p50 < p99 in at least one row (the log-linear histogram satellite).
 
 Also sanity-checks BENCH_array_scaling.json's 1 -> 4 shard monotonicity,
-and BENCH_offload_wire.json's link physics (datacenter out-runs WAN, lossy
+BENCH_offload_wire.json's link physics (datacenter out-runs WAN, lossy
 links pay in retransmissions, recovery-window integrity holds on every
-link), so the artifacts uploaded by CI are never regressed ones.
+link), and BENCH_fleet.json's fleet-scale surface (simulated results
+byte-identical across worker counts, detection recall and zero false
+positives at every fleet size, a sim-throughput floor at 256 members, and
+core-aware worker-pool scaling), so the artifacts uploaded by CI are
+never regressed ones.
 """
 
 import json
@@ -117,15 +121,80 @@ def check_offload_wire() -> list[str]:
     return failures
 
 
+def check_fleet() -> list[str]:
+    rows = load_rows("BENCH_fleet.json")
+    failures = []
+    sizes = (16, 64, 256)
+    workers = (1, 4, 8)
+    for members in sizes:
+        for count in workers:
+            config = f"fleet{members}_w{count}"
+            if config not in rows:
+                failures.append(f"{config}: row missing from BENCH_fleet.json")
+    if failures:
+        return failures
+
+    # Determinism: worker count is a host-side knob; every simulated result
+    # must be identical across worker counts for a given fleet size.
+    for members in sizes:
+        base = rows[f"fleet{members}_w1"]
+        for count in workers[1:]:
+            row = rows[f"fleet{members}_w{count}"]
+            for metric in ("total_ops", "sim_iops", "detection_recall",
+                           "false_positives", "fleet_score"):
+                if row[metric] != base[metric]:
+                    failures.append(
+                        f"fleet{members}: {metric} differs between 1 and "
+                        f"{count} workers ({base[metric]} vs {row[metric]}) "
+                        "- worker count is leaking into simulated results")
+
+    # Detection quality must survive fleet scale.
+    for members in sizes:
+        row = rows[f"fleet{members}_w1"]
+        if row["detection_recall"] < 0.9:
+            failures.append(
+                f"fleet{members}: detection recall {row['detection_recall']:.2f} "
+                "< 0.9 - per-member audits are missing compromised members")
+        if row["false_positives"] != 0.0:
+            failures.append(
+                f"fleet{members}: {row['false_positives']:.0f} clean members "
+                "falsely flagged")
+
+    # Wall-clock sim-throughput floor at the largest fleet: the simulator
+    # itself is a tracked perf surface now.
+    floor = 2000.0
+    best_256 = max(rows[f"fleet256_w{c}"]["ops_per_host_sec"] for c in workers)
+    if best_256 < floor:
+        failures.append(
+            f"fleet256: best sim-throughput {best_256:.0f} ops/host-s < "
+            f"{floor:.0f} floor - the fleet harness has slowed down")
+
+    # Worker-pool scaling, judged against the cores the bench actually had:
+    # a >= 4-core host must show real speedup; a core-starved host only has
+    # to prove the pool is not collapsing under contention.
+    host_cores = rows["fleet256_w1"]["host_cores"]
+    one = rows["fleet256_w1"]["ops_per_host_sec"]
+    eight = rows["fleet256_w8"]["ops_per_host_sec"]
+    speedup = eight / one if one > 0 else 0.0
+    required = 2.0 if host_cores >= 4 else 0.5
+    if speedup < required:
+        failures.append(
+            f"fleet256: 8-worker/1-worker host-throughput ratio {speedup:.2f} "
+            f"< {required:.1f} on a {host_cores:.0f}-core host")
+    return failures
+
+
 def main() -> None:
-    failures = check_qd_sweep() + check_array_scaling() + check_offload_wire()
+    failures = (check_qd_sweep() + check_array_scaling() + check_offload_wire()
+                + check_fleet())
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
         sys.exit(1)
     print("bench regression gate: OK "
           "(QD scaling >= 2x, monotonic, rssd != plain, p50 < p99, "
-          "wire physics hold, recovery survives every link)")
+          "wire physics hold, recovery survives every link, "
+          "fleet deterministic across workers, sim-throughput floor holds)")
 
 
 if __name__ == "__main__":
