@@ -18,8 +18,9 @@
 //! can only change how fast the answer arrives, never the answer.
 
 use criterion::{criterion_group, Criterion};
-use rssd_bench::{rule, write_bench_json, BenchRow};
-use rssd_fleet::{Fleet, FleetConfig, FleetReport};
+use rssd_bench::{rule, write_bench_json_with_profile, BenchRow};
+use rssd_fleet::{Fleet, FleetConfig, FleetReport, ObsOptions};
+use rssd_obs::ProfileBreakdown;
 use std::time::Instant;
 
 const FLEET_SIZES: [usize; 3] = [16, 64, 256];
@@ -66,6 +67,11 @@ fn print_sweep() {
     );
     println!("{}", rule(100));
 
+    // Host-side phase profile, summed over every cell's members: where the
+    // simulator's own wall-clock goes at fleet scale. Profiling rides the
+    // same disabled-handle fast path tracing does, so the wall numbers it
+    // decorates remain honest.
+    let mut profile = ProfileBreakdown::default();
     let mut cells: Vec<Cell> = Vec::new();
     for &members in &FLEET_SIZES {
         let mut baseline: Option<&Cell> = None;
@@ -73,8 +79,14 @@ fn print_sweep() {
         for &workers in &WORKER_COUNTS {
             let fleet = Fleet::new(config(members, workers));
             let start = Instant::now();
-            let report = fleet.run().expect("fleet run failed");
+            let (report, obs) = fleet
+                .run_instrumented(ObsOptions {
+                    trace: false,
+                    profile: true,
+                })
+                .expect("fleet run failed");
             let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+            profile.merge(&obs.profile);
             let cell = Cell {
                 members,
                 workers,
@@ -126,7 +138,16 @@ fn print_sweep() {
             ],
         })
         .collect();
-    match write_bench_json("fleet", &rows) {
+    let phase_line = profile
+        .iter()
+        .map(|(phase, _)| format!("{phase} {:.1}%", profile.phase_pct(phase)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "host profile over the sweep: {:.1} ms ({phase_line})",
+        profile.total_ns as f64 / 1e6
+    );
+    match write_bench_json_with_profile("fleet", &rows, &profile) {
         Ok(path) => println!("(summary written to {})", path.display()),
         Err(e) => eprintln!("(could not write BENCH_fleet.json: {e})"),
     }

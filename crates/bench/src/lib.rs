@@ -127,12 +127,40 @@ fn json_number(v: f64) -> String {
 ///
 /// Propagates I/O errors from creating or writing the file.
 pub fn write_bench_json(name: &str, rows: &[BenchRow]) -> std::io::Result<PathBuf> {
+    write_bench_json_impl(name, rows, None)
+}
+
+/// Like [`write_bench_json`], with a `"profile"` section carrying the
+/// host-side phase breakdown the bench's [`ProfilerHandle`] collected:
+/// per-phase self-milliseconds and percent of the profiled span. The
+/// self-time accounting guarantees the percentages sum to 100 (the CI
+/// regression gate re-checks that from the JSON).
+///
+/// [`ProfilerHandle`]: rssd_obs::ProfilerHandle
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing the file.
+pub fn write_bench_json_with_profile(
+    name: &str,
+    rows: &[BenchRow],
+    profile: &rssd_obs::ProfileBreakdown,
+) -> std::io::Result<PathBuf> {
+    write_bench_json_impl(name, rows, Some(profile))
+}
+
+fn write_bench_json_impl(
+    name: &str,
+    rows: &[BenchRow],
+    profile: Option<&rssd_obs::ProfileBreakdown>,
+) -> std::io::Result<PathBuf> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join(format!("BENCH_{name}.json"));
     let mut out = std::fs::File::create(&path)?;
     writeln!(out, "{{")?;
     writeln!(out, "  \"bench\": \"{}\",", json_escape(name))?;
+    let rows_comma = if profile.is_some() { "," } else { "" };
     writeln!(out, "  \"rows\": [")?;
     for (i, row) in rows.iter().enumerate() {
         let metrics = row
@@ -148,7 +176,29 @@ pub fn write_bench_json(name: &str, rows: &[BenchRow]) -> std::io::Result<PathBu
             json_escape(&row.config)
         )?;
     }
-    writeln!(out, "  ]")?;
+    writeln!(out, "  ]{rows_comma}")?;
+    if let Some(profile) = profile {
+        writeln!(out, "  \"profile\": {{")?;
+        writeln!(
+            out,
+            "    \"total_ms\": {},",
+            json_number(profile.total_ns as f64 / 1e6)
+        )?;
+        writeln!(out, "    \"phases\": [")?;
+        let phases: Vec<(&str, u64)> = profile.iter().collect();
+        for (i, (phase, ns)) in phases.iter().enumerate() {
+            let comma = if i + 1 == phases.len() { "" } else { "," };
+            writeln!(
+                out,
+                "      {{\"phase\": \"{}\", \"self_ms\": {}, \"pct\": {}}}{comma}",
+                json_escape(phase),
+                json_number(*ns as f64 / 1e6),
+                json_number(profile.phase_pct(phase))
+            )?;
+        }
+        writeln!(out, "    ]")?;
+        writeln!(out, "  }}")?;
+    }
     writeln!(out, "}}")?;
     Ok(path)
 }
@@ -201,5 +251,30 @@ mod tests {
         assert!(body.contains("\"p99_us\": null"), "NaN must become null");
         // No trailing comma before the closing bracket.
         assert!(!body.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn bench_json_profile_section_is_well_formed() {
+        use std::collections::BTreeMap;
+        let mut phases = BTreeMap::new();
+        phases.insert("nand_timing".to_string(), 3_000_000u64);
+        phases.insert("other".to_string(), 1_000_000u64);
+        let profile = rssd_obs::ProfileBreakdown {
+            phases,
+            total_ns: 4_000_000,
+        };
+        let rows = vec![BenchRow {
+            config: "qd32".to_string(),
+            metrics: vec![("kiops", 100.0)],
+        }];
+        let path = write_bench_json_with_profile("profsection", &rows, &profile).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(body.contains("\"profile\": {"));
+        assert!(body.contains("\"total_ms\": 4.000000"));
+        assert!(
+            body.contains("\"phase\": \"nand_timing\", \"self_ms\": 3.000000, \"pct\": 75.000000")
+        );
+        assert!(!body.contains(",\n    ]"), "no trailing comma in phases");
     }
 }

@@ -8,6 +8,7 @@ use rssd_crypto::{ChainLink, DeviceKeys, Digest, HashChain, KeyPurpose};
 use rssd_flash::{FlashGeometry, NandArray, NandTiming, SimClock};
 use rssd_ftl::{Ftl, FtlConfig, FtlError, FtlStats, InvalidateCause};
 use rssd_net::SecureSession;
+use rssd_obs::{ProfilerHandle, SinkHandle};
 use rssd_ssd::{BlockDevice, CommandOutcome, CommandResult, DeviceError, IoCommand, LatencyStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -173,6 +174,10 @@ pub struct RssdDevice<R: RemoteTarget> {
     crashed: bool,
     /// What the most recent crash destroyed (see [`Self::crash`]).
     last_crash: CrashReport,
+    /// Trace sink for offload lifecycle events on the `offload` track.
+    sink: SinkHandle,
+    /// Host-side profiler; offload work is charged to the `wire` phase.
+    profiler: ProfilerHandle,
 }
 
 impl<R: RemoteTarget> RssdDevice<R> {
@@ -215,8 +220,26 @@ impl<R: RemoteTarget> RssdDevice<R> {
             stats: OffloadStats::default(),
             crashed: false,
             last_crash: CrashReport::default(),
+            sink: SinkHandle::disabled(),
+            profiler: ProfilerHandle::disabled(),
             config,
         }
+    }
+
+    /// Installs a trace sink across the whole device stack: the FTL's GC
+    /// spans, the NAND array's per-unit operation spans, the offload
+    /// engine's segment lifecycle events, and (through the remote target)
+    /// the wire's loss/retransmission instants all share `sink`'s buffer.
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.ftl.set_trace_sink(sink.clone());
+        self.remote.set_trace_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// Installs a phase profiler: segment sealing, compression and wire
+    /// transfer time is charged to the `wire` phase.
+    pub fn set_profiler(&mut self, profiler: ProfilerHandle) {
+        self.profiler = profiler;
     }
 
     /// Simulated power loss. Everything in controller RAM is dropped: the
@@ -622,6 +645,13 @@ impl<R: RemoteTarget> RssdDevice<R> {
         if self.pending.is_empty() {
             return Ok(());
         }
+        self.profiler.enter("wire");
+        let result = self.offload_segment_inner();
+        self.profiler.exit();
+        result
+    }
+
+    fn offload_segment_inner(&mut self) -> Result<(), RemoteError> {
         // Attach retained contents via background reads. These dispatch
         // onto the unit pipelines — the offload engine genuinely occupies
         // planes and channels, which is RSSD's real (small, bounded)
@@ -658,6 +688,19 @@ impl<R: RemoteTarget> RssdDevice<R> {
         };
         let sealed_len = envelope.sealed_payload.len() as u64;
         let now = self.ftl.clock().now_ns();
+        if self.sink.is_enabled() {
+            self.sink.instant(
+                "offload",
+                "segment_sealed",
+                now,
+                &[
+                    ("segment_seq", segment.segment_seq.to_string()),
+                    ("records", segment.records.len().to_string()),
+                    ("raw_bytes", raw.len().to_string()),
+                    ("sealed_bytes", sealed_len.to_string()),
+                ],
+            );
+        }
 
         match self.remote.store_segment(envelope, now) {
             Ok(ack) => {
@@ -689,11 +732,37 @@ impl<R: RemoteTarget> RssdDevice<R> {
                 self.prev_segment_head = self.chain.head();
                 self.pending_retained = 0;
                 self.next_segment_seq += 1;
+                if self.sink.is_enabled() {
+                    self.sink.span(
+                        "offload",
+                        "segment_transfer",
+                        now,
+                        ack.durable_at_ns,
+                        &[
+                            ("segment_seq", segment.segment_seq.to_string()),
+                            ("sealed_bytes", sealed_len.to_string()),
+                        ],
+                    );
+                    self.sink.instant(
+                        "offload",
+                        "segment_ack",
+                        ack.durable_at_ns,
+                        &[("segment_seq", segment.segment_seq.to_string())],
+                    );
+                }
                 Ok(())
             }
             Err(e) => {
                 // Conservative: put the batch back, keep everything pinned.
                 self.stats.offload_failures += 1;
+                if self.sink.is_enabled() {
+                    self.sink.instant(
+                        "offload",
+                        "offload_failed",
+                        now,
+                        &[("segment_seq", segment.segment_seq.to_string())],
+                    );
+                }
                 let Segment { records, links, .. } = segment;
                 self.pending = records;
                 // Strip attached data again (it lives on flash until acked).

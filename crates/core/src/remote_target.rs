@@ -74,6 +74,12 @@ pub trait RemoteTarget {
 
     /// Sequence numbers currently stored, in order.
     fn stored_segments(&self) -> Vec<u64>;
+
+    /// Installs a trace sink on whatever transport sits under this target.
+    /// The default is a no-op: in-process targets have no wire to observe.
+    /// [`WireRemote`](crate::wire::WireRemote) forwards the sink to its
+    /// fabric so link losses and retransmissions become trace instants.
+    fn set_trace_sink(&mut self, _sink: rssd_obs::SinkHandle) {}
 }
 
 /// In-process remote target with perfect availability and zero latency.

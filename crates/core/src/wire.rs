@@ -268,6 +268,11 @@ impl<R: RemoteTarget> RemoteTarget for WireRemote<R> {
         seqs.dedup();
         seqs
     }
+
+    fn set_trace_sink(&mut self, sink: rssd_obs::SinkHandle) {
+        self.fabric.set_trace_sink(sink.clone());
+        self.remote.set_trace_sink(sink);
+    }
 }
 
 #[cfg(test)]

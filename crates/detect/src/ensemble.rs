@@ -100,6 +100,24 @@ impl Ensemble {
         }
     }
 
+    /// Emits the current verdict, combined score and every member score as
+    /// one instant on the `detect` track of `sink`, stamped at simulated
+    /// time `sim_ns`. No-op on a disabled sink.
+    pub fn trace_verdict(&self, sink: &rssd_obs::SinkHandle, sim_ns: u64) {
+        if !sink.is_enabled() {
+            return;
+        }
+        let mut args = vec![
+            ("verdict", format!("{:?}", self.verdict())),
+            ("score", format!("{:.3}", self.score())),
+            ("observations", self.observations.to_string()),
+        ];
+        for (name, score) in self.member_scores() {
+            args.push((name, format!("{score:.3}")));
+        }
+        sink.instant("detect", "verdict", sim_ns, &args);
+    }
+
     /// Resets all members.
     pub fn reset(&mut self) {
         self.entropy.reset();

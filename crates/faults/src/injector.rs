@@ -20,6 +20,7 @@ use crate::schedule::{FaultEvent, FaultSchedule};
 use crate::target::{FaultError, FaultTarget, PowerRestoreReport};
 use rssd_core::{HistoryAudit, OffloadStats};
 use rssd_flash::SimClock;
+use rssd_obs::SinkHandle;
 use rssd_ssd::{BlockDevice, CommandResult, DeviceError, IoCommand};
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,8 @@ pub struct FaultInjector<D: FaultTarget> {
     /// disagree — surfaced instead of silently dropped.
     skipped_events: u64,
     model_name: String,
+    /// Trace sink for fault-firing instants on the `faults` track.
+    sink: SinkHandle,
 }
 
 impl<D: FaultTarget> FaultInjector<D> {
@@ -66,6 +69,7 @@ impl<D: FaultTarget> FaultInjector<D> {
             torn_batches: Vec::new(),
             skipped_events: 0,
             model_name,
+            sink: SinkHandle::disabled(),
         };
         injector.arm(schedule);
         injector
@@ -145,6 +149,18 @@ impl<D: FaultTarget> FaultInjector<D> {
 
     /// Fires every event due at the current op counter. Returns `true` when
     /// a power cut landed (the caller must fail the op with `PowerLoss`).
+    fn trace_fault(&self, name: &str, at_op: u64, extra: Option<(&str, String)>) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let mut args = vec![("at_op", at_op.to_string())];
+        if let Some((k, v)) = extra {
+            args.push((k, v));
+        }
+        self.sink
+            .instant("faults", name, self.inner.clock().now_ns(), &args);
+    }
+
     fn fire_due_events(&mut self) -> bool {
         while let Some(event) = self.events.get(self.next_event).copied() {
             if event.at_op() > self.ops_executed {
@@ -152,20 +168,28 @@ impl<D: FaultTarget> FaultInjector<D> {
             }
             self.next_event += 1;
             match event {
-                FaultEvent::PowerCut { .. } => {
+                FaultEvent::PowerCut { at_op } => {
                     self.powered_off = true;
                     self.power_cuts += 1;
+                    self.trace_fault("power_cut", at_op, None);
                     return true;
                 }
-                FaultEvent::PartitionStart { mode, .. } => {
+                FaultEvent::PartitionStart { mode, at_op } => {
+                    self.trace_fault(
+                        "partition_start",
+                        at_op,
+                        Some(("mode", format!("{mode:?}"))),
+                    );
                     if !self.inner.set_partition(mode) {
                         self.skipped_events += 1;
                     }
                 }
-                FaultEvent::PartitionHeal { .. } => {
+                FaultEvent::PartitionHeal { at_op } => {
+                    self.trace_fault("partition_heal", at_op, None);
                     self.inner.heal_partition();
                 }
-                FaultEvent::ShardDeath { shard, .. } => {
+                FaultEvent::ShardDeath { shard, at_op } => {
+                    self.trace_fault("shard_death", at_op, Some(("shard", shard.to_string())));
                     if self.inner.kill_shard(shard).is_err() {
                         self.skipped_events += 1;
                     }
@@ -349,6 +373,11 @@ impl<D: FaultTarget> FaultTarget for FaultInjector<D> {
 
     fn skipped_event_count(&self) -> u64 {
         self.skipped_events
+    }
+
+    fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.inner.set_trace_sink(sink.clone());
+        self.sink = sink;
     }
 }
 

@@ -203,6 +203,10 @@ impl<R: RemoteTarget> RemoteTarget for FaultyRemote<R> {
         seqs.dedup();
         seqs
     }
+
+    fn set_trace_sink(&mut self, sink: rssd_obs::SinkHandle) {
+        self.inner.set_trace_sink(sink);
+    }
 }
 
 /// A remote store **without** the chain-continuity ingest check — a naive

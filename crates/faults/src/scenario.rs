@@ -39,6 +39,7 @@ use rssd_core::{LoopbackTarget, PostAttackAnalyzer, RssdDevice, WireRemote};
 use rssd_detect::Verdict;
 use rssd_flash::SimClock;
 use rssd_net::{LinkConfig, SharedLink};
+use rssd_obs::SinkHandle;
 use rssd_ssd::{DeviceError, NvmeController, QueueId};
 use rssd_trace::{replay_fanout, IoRecord, ReplayOutcome, TraceProfile};
 use serde::{Deserialize, Serialize};
@@ -275,11 +276,24 @@ impl Scenario {
     /// [`FaultError`] when the harness itself cannot proceed (never for a
     /// fault the schedule injected — those are scored, not errored).
     pub fn run(&self) -> Result<Scorecard, FaultError> {
+        self.run_traced(SinkHandle::disabled())
+    }
+
+    /// [`Scenario::run`] with a trace sink installed across the whole cell
+    /// stack (NAND, FTL, offload engine, fault injector, detection
+    /// verdict). With a disabled sink this *is* `run()`; with a recording
+    /// one the scorecard is byte-identical — sink identity is not
+    /// simulation state, which the determinism proptests pin.
+    pub fn run_traced(&self, sink: SinkHandle) -> Result<Scorecard, FaultError> {
         type Remote = FaultyRemote<PermissiveTarget>;
         match self.topology {
             Topology::Bare | Topology::MultiQueue { .. } => {
                 let device: RssdDevice<Remote> = scenario_member(1);
-                run_cell(FaultInjector::new(device, &FaultSchedule::none()), self)
+                run_cell_traced(
+                    FaultInjector::new(device, &FaultSchedule::none()),
+                    self,
+                    sink,
+                )
             }
             Topology::Array {
                 shards,
@@ -288,10 +302,16 @@ impl Scenario {
                 let members: Vec<RssdDevice<Remote>> =
                     (0..shards as u64).map(scenario_member).collect();
                 let array = RssdArray::new(members, stripe_pages, SimClock::new());
-                run_cell(FaultInjector::new(array, &FaultSchedule::none()), self)
+                run_cell_traced(
+                    FaultInjector::new(array, &FaultSchedule::none()),
+                    self,
+                    sink,
+                )
             }
             // A shared uplink only exists on the wire.
-            Topology::SharedUplink { .. } => self.run_wire(LinkConfig::datacenter_10g()),
+            Topology::SharedUplink { .. } => {
+                self.run_wire_traced(LinkConfig::datacenter_10g(), sink)
+            }
         }
     }
 
@@ -312,12 +332,27 @@ impl Scenario {
     /// [`FaultError`] when the harness itself cannot proceed (never for a
     /// fault the schedule injected — those are scored, not errored).
     pub fn run_wire(&self, link: LinkConfig) -> Result<Scorecard, FaultError> {
+        self.run_wire_traced(link, SinkHandle::disabled())
+    }
+
+    /// [`Scenario::run_wire`] with a trace sink; the wire pipeline
+    /// additionally records link-loss and retransmission instants from the
+    /// NVMe-oE fabric.
+    pub fn run_wire_traced(
+        &self,
+        link: LinkConfig,
+        sink: SinkHandle,
+    ) -> Result<Scorecard, FaultError> {
         type Remote = WireRemote<PermissiveTarget>;
         let member = |id: u64, remote: Remote| scenario_member_with(id, remote);
         match self.topology {
             Topology::Bare | Topology::MultiQueue { .. } => {
                 let device = member(1, WireRemote::new(PermissiveTarget::new(), link));
-                run_cell(FaultInjector::new(device, &FaultSchedule::none()), self)
+                run_cell_traced(
+                    FaultInjector::new(device, &FaultSchedule::none()),
+                    self,
+                    sink,
+                )
             }
             Topology::Array {
                 shards,
@@ -327,7 +362,11 @@ impl Scenario {
                     .map(|i| member(i, WireRemote::new(PermissiveTarget::new(), link)))
                     .collect();
                 let array = RssdArray::new(members, stripe_pages, SimClock::new());
-                run_cell(FaultInjector::new(array, &FaultSchedule::none()), self)
+                run_cell_traced(
+                    FaultInjector::new(array, &FaultSchedule::none()),
+                    self,
+                    sink,
+                )
             }
             Topology::SharedUplink {
                 shards,
@@ -343,7 +382,11 @@ impl Scenario {
                     })
                     .collect();
                 let array = RssdArray::new(members, stripe_pages, SimClock::new());
-                run_cell(FaultInjector::new(array, &FaultSchedule::none()), self)
+                run_cell_traced(
+                    FaultInjector::new(array, &FaultSchedule::none()),
+                    self,
+                    sink,
+                )
             }
         }
     }
@@ -833,7 +876,18 @@ fn attack_once<D: FaultTarget>(
 
 /// The generic cell runner — same code for the faulted and direct
 /// pipelines; only the device type differs.
-fn run_cell<D: FaultTarget>(mut device: D, scenario: &Scenario) -> Result<Scorecard, FaultError> {
+fn run_cell<D: FaultTarget>(device: D, scenario: &Scenario) -> Result<Scorecard, FaultError> {
+    run_cell_traced(device, scenario, SinkHandle::disabled())
+}
+
+/// [`run_cell`] with a trace sink installed on the device stack before the
+/// first command.
+fn run_cell_traced<D: FaultTarget>(
+    mut device: D,
+    scenario: &Scenario,
+    sink: SinkHandle,
+) -> Result<Scorecard, FaultError> {
+    device.set_trace_sink(sink.clone());
     let profile = TraceProfile::by_name(scenario.profile)
         .ok_or_else(|| FaultError::Scenario(format!("unknown profile {}", scenario.profile)))?;
     let logical_pages = device.logical_pages();
@@ -917,6 +971,18 @@ fn run_cell<D: FaultTarget>(mut device: D, scenario: &Scenario) -> Result<Scorec
 
     let audit = device.history_audit();
     let analysis = PostAttackAnalyzer::new().analyze(&audit.records, audit.verified);
+    if sink.is_enabled() {
+        sink.instant(
+            "detect",
+            "verdict",
+            device.clock().now_ns(),
+            &[
+                ("verdict", format!("{:?}", analysis.verdict)),
+                ("score", format!("{:.3}", analysis.score)),
+                ("attack_class", analysis.attack_class.to_string()),
+            ],
+        );
+    }
 
     // Recovery scoring: can the defender produce every victim page's
     // pre-attack content — via point-in-time recovery, or because a rebuild

@@ -330,6 +330,15 @@ pub trait FaultTarget: BlockDevice {
     fn skipped_event_count(&self) -> u64 {
         0
     }
+
+    /// Installs a trace sink across the target's whole stack (FTL, NAND,
+    /// offload engine, wire, and — when wrapped by a
+    /// [`FaultInjector`](crate::FaultInjector) — fault firings). The
+    /// default is a no-op so bare [`BlockDevice`] baselines compile
+    /// unchanged.
+    fn set_trace_sink(&mut self, sink: rssd_obs::SinkHandle) {
+        let _ = sink;
+    }
 }
 
 impl<R: FaultRemote> FaultTarget for RssdDevice<R> {
@@ -382,6 +391,10 @@ impl<R: FaultRemote> FaultTarget for RssdDevice<R> {
 
     fn remote_fault_totals(&self) -> RemoteFaultStats {
         self.remote().fault_stats()
+    }
+
+    fn set_trace_sink(&mut self, sink: rssd_obs::SinkHandle) {
+        RssdDevice::set_trace_sink(self, sink);
     }
 }
 
@@ -516,5 +529,18 @@ impl<R: FaultRemote> FaultTarget for RssdArray<RssdDevice<R>> {
             }
         }
         merged
+    }
+
+    fn set_trace_sink(&mut self, sink: rssd_obs::SinkHandle) {
+        // Shards have independent clocks; a per-shard track prefix keeps
+        // every track single-clock (and so monotone in simulated time).
+        for shard in 0..self.shard_count() {
+            if let Some(member) = self.shard_mut(shard) {
+                RssdDevice::set_trace_sink(
+                    member,
+                    sink.with_track_prefix(&format!("shard{shard}/")),
+                );
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@ use crate::clock::SimClock;
 use crate::geometry::{FlashGeometry, Ppa};
 use crate::stats::NandStats;
 use crate::timing::{NandTiming, OpTicket, UnitPipelines};
+use rssd_obs::SinkHandle;
 use serde::{Deserialize, Serialize};
 
 /// Per-page out-of-band metadata, written atomically with the page data.
@@ -140,6 +141,7 @@ pub struct NandArray {
     stats: NandStats,
     seq_counter: u64,
     max_pe_cycles: u32,
+    sink: SinkHandle,
 }
 
 impl NandArray {
@@ -169,7 +171,40 @@ impl NandArray {
             stats: NandStats::for_channels(geometry.channels),
             seq_counter: 0,
             max_pe_cycles: Self::DEFAULT_MAX_PE_CYCLES,
+            sink: SinkHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace sink: every dispatched NAND op is recorded as a
+    /// span on its unit's track (`nand/ch{c}/pl{p}`), spanning the op's
+    /// pipeline occupancy. Disabled by default; observation never feeds
+    /// back into timing or state.
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
+    }
+
+    /// Track name for the unit serving `ppa` (chips share a channel bus;
+    /// one track per plane keeps overlap visible).
+    fn unit_track(&self, ppa: Ppa) -> String {
+        let plane = ppa.chip * self.geometry.planes_per_chip + ppa.plane;
+        format!("nand/ch{}/pl{}", ppa.channel, plane)
+    }
+
+    fn trace_op(&self, name: &str, ppa: Ppa, ticket: OpTicket, lpa: u64) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        self.sink.span(
+            &self.unit_track(ppa),
+            name,
+            ticket.start_ns,
+            ticket.done_ns,
+            &[
+                ("lpa", lpa.to_string()),
+                ("block", self.geometry.block_index(ppa).to_string()),
+                ("page", ppa.page.to_string()),
+            ],
+        );
     }
 
     /// Overrides the per-block endurance budget (for wear-out tests).
@@ -323,6 +358,7 @@ impl NandArray {
         self.stats
             .record_program(self.timing.program_latency(self.geometry.page_size));
         self.stats.record_channel_busy(ppa.channel, covered);
+        self.trace_op("program", ppa, ticket, oob.lpa);
         Ok((seq, ticket))
     }
 
@@ -370,6 +406,7 @@ impl NandArray {
         self.stats
             .record_read(self.timing.read_latency(self.geometry.page_size));
         self.stats.record_channel_busy(ppa.channel, covered);
+        self.trace_op("read", ppa, ticket, out.1.lpa);
         Ok((out.0, out.1, ticket))
     }
 
@@ -454,6 +491,15 @@ impl NandArray {
         );
         self.stats.record_erase(self.timing.erase_latency());
         self.stats.record_channel_busy(ppa.channel, covered);
+        if self.sink.is_enabled() {
+            self.sink.span(
+                &self.unit_track(ppa),
+                "erase",
+                ticket.start_ns,
+                ticket.done_ns,
+                &[("block", self.geometry.block_index(ppa).to_string())],
+            );
+        }
         Ok(ticket)
     }
 
@@ -503,6 +549,7 @@ impl NandArray {
         );
         self.stats.record_background_read();
         self.stats.record_channel_busy(ppa.channel, covered);
+        self.trace_op("offload_read", ppa, ticket, out.1.lpa);
         Ok((out.0, out.1, ticket))
     }
 

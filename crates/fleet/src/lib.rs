@@ -64,6 +64,9 @@ mod report;
 mod run;
 
 pub use config::{member_seed, FleetConfig, MemberKind};
-pub use member::{run_member, FleetError, MemberOutcome, MemberScorecard};
+pub use member::{
+    run_member, run_member_instrumented, FleetError, MemberObs, MemberOutcome, MemberScorecard,
+    ObsOptions,
+};
 pub use report::FleetReport;
-pub use run::Fleet;
+pub use run::{Fleet, FleetObs};

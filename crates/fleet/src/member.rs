@@ -17,6 +17,7 @@ use rssd_faults::{
 };
 use rssd_flash::{NandStats, SimClock};
 use rssd_ftl::FtlStats;
+use rssd_obs::{MetricsRegistry, ProfileBreakdown, ProfilerHandle, SinkHandle, TraceEvent};
 use rssd_ssd::{BlockDevice, DeviceError, LatencyStats, NvmeController, QueueId, QueuePairStats};
 use rssd_trace::{
     replay_fanout, synthesize_page, DiurnalLoad, IoOp, IoRecord, PayloadKind, ReplayOutcome,
@@ -116,8 +117,45 @@ pub struct MemberOutcome {
     pub queues: QueuePairStats,
     /// Replay accounting (stitched across fault interruptions).
     pub replay: ReplayStats,
+    /// Typed metrics derived from the member's simulated run. Every value
+    /// is a deterministic function of simulated state (never wall clock),
+    /// so the registry folds into [`FleetReport`](crate::FleetReport)
+    /// without weakening its byte-identical determinism contract.
+    pub metrics: MetricsRegistry,
     /// Host-side detector observations, in issue order.
     pub observations: Vec<WriteObservation>,
+}
+
+/// What to collect alongside a member (or fleet) run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Record dual-timeline trace events into a per-member recording sink.
+    pub trace: bool,
+    /// Profile the host-side replay hot loop's phase breakdown.
+    pub profile: bool,
+}
+
+impl ObsOptions {
+    /// Collect everything.
+    #[must_use]
+    pub fn all() -> Self {
+        ObsOptions {
+            trace: true,
+            profile: true,
+        }
+    }
+}
+
+/// Host-side observability by-products of one member run: these live
+/// *outside* [`MemberOutcome`] because they are functions of the host
+/// (wall-clock phase times) or of the observer (trace buffers), not of the
+/// simulated member, and must never enter the determinism contract.
+#[derive(Clone, Debug, Default)]
+pub struct MemberObs {
+    /// Host wall-clock phase breakdown of the member's replay.
+    pub profile: ProfileBreakdown,
+    /// Trace events recorded during the run, tracks prefixed `m{id}/`.
+    pub events: Vec<TraceEvent>,
 }
 
 /// Runs fleet member `member` of `config` to completion.
@@ -133,18 +171,57 @@ pub struct MemberOutcome {
 /// [`FleetError`] when the member's replay aborts on an error the fault
 /// harness cannot absorb (anything but power loss and dead-shard refusals).
 pub fn run_member(config: &FleetConfig, member: usize) -> Result<MemberOutcome, FleetError> {
+    run_member_instrumented(config, member, ObsOptions::default()).map(|(outcome, _)| outcome)
+}
+
+/// [`run_member`] with observability attached: when `obs.trace` is set a
+/// recording sink (tracks prefixed `m{member}/`) captures the member's
+/// dual-timeline events, and when `obs.profile` is set a phase profiler
+/// brackets the replay hot loop. The simulated outcome is byte-identical
+/// to [`run_member`]'s either way — observers never feed back into the
+/// simulation; the fleet's property tests pin this.
+///
+/// # Errors
+///
+/// Same failure surface as [`run_member`].
+pub fn run_member_instrumented(
+    config: &FleetConfig,
+    member: usize,
+    obs: ObsOptions,
+) -> Result<(MemberOutcome, MemberObs), FleetError> {
     let mseed = member_seed(config.seed, member);
     let kind = config.member_kind(member);
     let compromised = config.member_compromised(member);
     let faulted = config.member_faulted(member);
+    let sink = if obs.trace {
+        SinkHandle::recording().with_track_prefix(&format!("m{member}/"))
+    } else {
+        SinkHandle::disabled()
+    };
+    let profiler = if obs.profile {
+        ProfilerHandle::enabled()
+    } else {
+        ProfilerHandle::disabled()
+    };
 
-    match kind {
+    let outcome = match kind {
         MemberKind::Bare => {
             let device = scenario_member_with(
                 member as u64 * DEVICE_ID_STRIDE,
                 WireRemote::new(PermissiveTarget::new(), config.link),
             );
-            run_on(config, member, mseed, kind, compromised, faulted, device, 1)
+            run_on(
+                config,
+                member,
+                mseed,
+                kind,
+                compromised,
+                faulted,
+                device,
+                1,
+                &sink,
+                &profiler,
+            )
         }
         MemberKind::Array {
             shards,
@@ -168,9 +245,19 @@ pub fn run_member(config: &FleetConfig, member: usize) -> Result<MemberOutcome, 
                 faulted,
                 array,
                 shards,
+                &sink,
+                &profiler,
             )
         }
-    }
+    }?;
+
+    Ok((
+        outcome,
+        MemberObs {
+            profile: profiler.finish(),
+            events: sink.take_events(),
+        },
+    ))
 }
 
 /// The kind-generic member body: workload synthesis, fault-resilient
@@ -185,8 +272,11 @@ fn run_on<D: FaultTarget>(
     faulted: bool,
     device: D,
     shards: usize,
+    sink: &SinkHandle,
+    profiler: &ProfilerHandle,
 ) -> Result<MemberOutcome, FleetError> {
     let (tenant, profile) = assign_tenant(config, mseed);
+    profiler.enter("synthesis");
     let records = synthesize_stream(
         config,
         mseed,
@@ -196,13 +286,32 @@ fn run_on<D: FaultTarget>(
         device.logical_pages(),
         device.page_size(),
     );
+    profiler.exit();
     let schedule = if faulted {
         FaultSchedule::seeded(mseed, records.len() as u64, shards)
     } else {
         FaultSchedule::none()
     };
+    profiler.enter("detect");
     let observations = observe_stream(&records, device.page_size());
+    profiler.exit();
     let mut device = FaultInjector::new(device, &schedule);
+    device.set_trace_sink(sink.clone());
+    if sink.is_enabled() {
+        sink.instant(
+            "member",
+            "member_start",
+            device.clock().now_ns(),
+            &[
+                ("kind", kind.label()),
+                ("tenant", tenant.to_string()),
+                ("profile", profile.name.to_string()),
+                ("compromised", compromised.to_string()),
+                ("faulted", faulted.to_string()),
+                ("records", records.len().to_string()),
+            ],
+        );
+    }
 
     let mut replay = ReplayStats::default();
     let mut queues = QueuePairStats::default();
@@ -211,6 +320,8 @@ fn run_on<D: FaultTarget>(
     loop {
         let outcome = {
             let mut controller = NvmeController::new(&mut device);
+            controller.set_profiler(profiler.clone());
+            controller.set_trace_sink(sink.clone());
             let qids: Vec<QueueId> = (0..QUEUES)
                 .map(|_| controller.create_queue_pair(QUEUE_DEPTH))
                 .collect();
@@ -225,6 +336,17 @@ fn run_on<D: FaultTarget>(
             ReplayOutcome::Completed(_) => break,
             ref aborted @ ReplayOutcome::Aborted { ref error, .. } => {
                 interruptions += 1;
+                if sink.is_enabled() {
+                    sink.instant(
+                        "member",
+                        "replay_interrupted",
+                        device.clock().now_ns(),
+                        &[
+                            ("error", error.to_string()),
+                            ("interruption", interruptions.to_string()),
+                        ],
+                    );
+                }
                 if interruptions > MAX_INTERRUPTIONS {
                     return Err(FleetError {
                         member,
@@ -273,9 +395,41 @@ fn run_on<D: FaultTarget>(
     })?;
     let _ = revived;
 
+    profiler.enter("detect");
     let audit = device.history_audit();
     let analysis = PostAttackAnalyzer::new().analyze(&audit.records, audit.verified);
+    profiler.exit();
     let sim_end_ns = device.clock().now_ns();
+    if sink.is_enabled() {
+        sink.instant(
+            "member",
+            "member_done",
+            sim_end_ns,
+            &[
+                ("verdict", format!("{:?}", analysis.verdict)),
+                ("score", format!("{:.3}", analysis.score)),
+                ("ops", replay.records.to_string()),
+                ("interruptions", interruptions.to_string()),
+                ("chain_verified", audit.verified.to_string()),
+            ],
+        );
+    }
+
+    // Sim-derived metrics only: wall clock must never enter the registry,
+    // because the registry rides inside the deterministic outcome.
+    let mut metrics = MetricsRegistry::new();
+    metrics.counter_add("member.runs", 1);
+    metrics.counter_add("member.ops", replay.records);
+    metrics.counter_add("member.interruptions", interruptions);
+    metrics.counter_add("member.power_cuts", device.power_cut_count());
+    metrics.counter_add("member.compromised", u64::from(compromised));
+    metrics.counter_add(
+        "member.flagged",
+        u64::from(analysis.verdict != Verdict::Benign),
+    );
+    metrics.gauge_max("detect.score.max", analysis.score);
+    metrics.histogram_record("member.sim_end_ns", sim_end_ns);
+    metrics.histogram_record("member.records_audited", audit.records.len() as u64);
 
     Ok(MemberOutcome {
         scorecard: MemberScorecard {
@@ -301,6 +455,7 @@ fn run_on<D: FaultTarget>(
         latency: device.latency_totals(),
         queues,
         replay,
+        metrics,
         observations,
     })
 }

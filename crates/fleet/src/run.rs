@@ -2,12 +2,13 @@
 //! member-id-ordered merge that makes worker count invisible in the result.
 
 use crate::config::FleetConfig;
-use crate::member::{run_member, FleetError, MemberOutcome};
+use crate::member::{run_member_instrumented, FleetError, MemberObs, MemberOutcome, ObsOptions};
 use crate::report::FleetReport;
 use rssd_core::OffloadStats;
 use rssd_detect::{merge_time_ordered, Ensemble, Verdict};
 use rssd_flash::NandStats;
 use rssd_ftl::FtlStats;
+use rssd_obs::{MetricsRegistry, ProfileBreakdown, SinkHandle, TraceEvent};
 use rssd_ssd::{LatencyStats, QueuePairStats};
 use rssd_trace::ReplayStats;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -18,6 +19,19 @@ use std::thread;
 /// detection stream: member `m`'s page `p` appears as `(m << 32) | p`, so
 /// per-page detector state never conflates pages of different members.
 const FLEET_LPA_STRIDE: u64 = 1 << 32;
+
+/// Host-side observability by-products of a fleet run: member trace events
+/// concatenated in member-id order plus the fleet-level events, and the
+/// summed host phase profile. Kept outside [`FleetReport`] because both
+/// surfaces are wall-clock-bearing and must never touch the report's
+/// determinism contract.
+#[derive(Clone, Debug, Default)]
+pub struct FleetObs {
+    /// Host phase breakdown summed over every member's replay.
+    pub profile: ProfileBreakdown,
+    /// All trace events: member tracks (`m{id}/...`) then fleet-level.
+    pub events: Vec<TraceEvent>,
+}
 
 /// A parallel fleet of independent RSSD members.
 ///
@@ -60,11 +74,26 @@ impl Fleet {
     /// The lowest-id [`FleetError`] of any failed member; healthy members'
     /// work is discarded in that case (runs are cheap and deterministic).
     pub fn run(&self) -> Result<FleetReport, FleetError> {
+        self.run_instrumented(ObsOptions::default())
+            .map(|(report, _)| report)
+    }
+
+    /// [`Fleet::run`] with observability attached: each worker collects its
+    /// members' trace events (tracks prefixed `m{id}/`, so member clocks
+    /// never interleave on one track) and host-side phase profiles, and the
+    /// merge folds them in member-id order — events concatenate, profiles
+    /// add per phase. The [`FleetReport`] itself is byte-identical to an
+    /// uninstrumented run; only the side-band [`FleetObs`] differs.
+    ///
+    /// # Errors
+    ///
+    /// Same failure surface as [`Fleet::run`].
+    pub fn run_instrumented(&self, obs: ObsOptions) -> Result<(FleetReport, FleetObs), FleetError> {
         let members = self.config.members;
         let workers = self.config.workers.clamp(1, members.max(1));
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<(usize, Result<MemberOutcome, FleetError>)>> =
-            Mutex::new(Vec::with_capacity(members));
+        type MemberResult = Result<(MemberOutcome, MemberObs), FleetError>;
+        let results: Mutex<Vec<(usize, MemberResult)>> = Mutex::new(Vec::with_capacity(members));
 
         thread::scope(|scope| {
             for _ in 0..workers {
@@ -73,7 +102,7 @@ impl Fleet {
                     if id >= members {
                         break;
                     }
-                    let outcome = run_member(&self.config, id);
+                    let outcome = run_member_instrumented(&self.config, id, obs);
                     results
                         .lock()
                         .expect("a fleet worker panicked while holding the results lock")
@@ -87,20 +116,35 @@ impl Fleet {
             .expect("a fleet worker panicked while holding the results lock");
         outcomes.sort_by_key(|(id, _)| *id);
         let mut ordered = Vec::with_capacity(outcomes.len());
+        let mut fleet_obs = FleetObs::default();
         for (_, outcome) in outcomes {
-            ordered.push(outcome?);
+            let (outcome, member_obs) = outcome?;
+            fleet_obs.profile.merge(&member_obs.profile);
+            fleet_obs.events.extend(member_obs.events);
+            ordered.push(outcome);
         }
-        Ok(self.merge(ordered))
+        // Fleet-level events (the fused ensemble verdict) get their own
+        // unprefixed sink so they land on fleet-global tracks.
+        let fleet_sink = if obs.trace {
+            SinkHandle::recording()
+        } else {
+            SinkHandle::disabled()
+        };
+        let report = self.merge(ordered, &fleet_sink);
+        fleet_obs.events.extend(fleet_sink.take_events());
+        Ok((report, fleet_obs))
     }
 
-    /// Folds member outcomes (already in member-id order) into the report.
-    fn merge(&self, outcomes: Vec<MemberOutcome>) -> FleetReport {
+    /// Folds member outcomes (already in member-id order) into the report,
+    /// emitting fleet-level trace events on `sink`.
+    fn merge(&self, outcomes: Vec<MemberOutcome>, sink: &SinkHandle) -> FleetReport {
         let mut nand = NandStats::default();
         let mut ftl = FtlStats::default();
         let mut offload = OffloadStats::default();
         let mut latency = LatencyStats::new();
         let mut queues = QueuePairStats::default();
         let mut replay = ReplayStats::default();
+        let mut metrics = MetricsRegistry::new();
         let mut sim_end_ns = 0u64;
         let mut compromised_members = Vec::new();
         let mut detected_members = Vec::new();
@@ -117,6 +161,7 @@ impl Fleet {
             latency.merge(&outcome.latency);
             queues.merge(&outcome.queues);
             replay.merge(&outcome.replay);
+            metrics.merge(&outcome.metrics);
             let card = outcome.scorecard;
             sim_end_ns = sim_end_ns.max(card.sim_end_ns);
             let flagged = card.verdict != Verdict::Benign;
@@ -150,6 +195,7 @@ impl Fleet {
         let fused = merge_time_ordered(&streams);
         let mut ensemble = Ensemble::new();
         ensemble.observe_all(fused.iter());
+        ensemble.trace_verdict(sink, sim_end_ns);
 
         FleetReport {
             members: self.config.members,
@@ -161,6 +207,7 @@ impl Fleet {
             queues,
             total_ops: replay.records,
             replay,
+            metrics,
             sim_end_ns,
             fleet_verdict: ensemble.verdict(),
             fleet_score: ensemble.score(),
@@ -217,6 +264,32 @@ mod tests {
             report.true_positives + report.false_positives
         );
         assert!(report.detection_recall() > 0.0, "no compromise detected");
+    }
+
+    #[test]
+    fn instrumentation_is_invisible_in_the_report() {
+        let cfg = tiny();
+        let plain = Fleet::new(cfg.clone()).run().unwrap();
+        let (traced, obs) = Fleet::new(cfg).run_instrumented(ObsOptions::all()).unwrap();
+        assert_eq!(plain, traced, "observers must not perturb the simulation");
+        assert!(!obs.events.is_empty());
+        assert!(obs.profile.total_ns > 0);
+        let phase_sum: u64 = obs.profile.phases.values().sum();
+        assert_eq!(phase_sum, obs.profile.total_ns, "self-times sum to total");
+        assert!(
+            obs.events.iter().any(|e| e.track.starts_with("m0/")),
+            "member tracks carry the member prefix"
+        );
+        assert!(
+            obs.events
+                .iter()
+                .any(|e| e.track == "detect" && e.name == "verdict"),
+            "fleet-level fused verdict is traced on a global track"
+        );
+        assert!(
+            obs.events.iter().any(|e| e.name == "member_start"),
+            "member lifecycle is traced"
+        );
     }
 
     #[test]

@@ -7,9 +7,12 @@
 //! 2. Member seeds never collide within a fleet and are stable under fleet
 //!    growth: a 2048-member fleet's first N seeds are exactly the N-member
 //!    fleet's seeds.
+//! 3. Observability is inert: a fleet run with a recording trace sink and
+//!    a live profiler produces a byte-identical [`FleetReport`] to the
+//!    bare run — observers read the simulation, they never steer it.
 
 use proptest::prelude::*;
-use rssd_fleet::{member_seed, Fleet, FleetConfig};
+use rssd_fleet::{member_seed, Fleet, FleetConfig, ObsOptions};
 use std::collections::HashSet;
 
 proptest! {
@@ -45,6 +48,37 @@ proptest! {
             .unwrap();
         prop_assert_eq!(&one, &two);
         prop_assert_eq!(&one, &eight);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn observability_never_perturbs_the_report(
+        seed in 0u64..1_000_000,
+        members in 2usize..8,
+        ops in 30usize..60,
+        compromised_pct in 0u32..60,
+        fault_pct in 0u32..30,
+        workers in 1usize..4,
+    ) {
+        let config = FleetConfig {
+            members,
+            seed,
+            workers,
+            ops_per_member: ops,
+            compromised_fraction: f64::from(compromised_pct) / 100.0,
+            fault_fraction: f64::from(fault_pct) / 100.0,
+            ..FleetConfig::default()
+        };
+        let bare = Fleet::new(config.clone()).run().unwrap();
+        let (observed, obs) = Fleet::new(config)
+            .run_instrumented(ObsOptions::all())
+            .unwrap();
+        prop_assert_eq!(&bare, &observed, "recording sink/profiler changed the report");
+        prop_assert!(!obs.events.is_empty(), "recording sink saw no events");
+        let phase_sum: u64 = obs.profile.phases.values().sum();
+        prop_assert_eq!(phase_sum, obs.profile.total_ns, "profile must partition its span");
     }
 }
 

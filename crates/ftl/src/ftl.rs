@@ -10,6 +10,7 @@ use crate::stats::FtlStats;
 use rssd_flash::{
     BlockState, FlashGeometry, NandArray, NandError, OpTicket, PageOob, Ppa, SimClock,
 };
+use rssd_obs::SinkHandle;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
@@ -121,6 +122,7 @@ pub struct Ftl {
     stale_events: VecDeque<StaleEvent>,
     stats: FtlStats,
     logical_pages: u64,
+    sink: SinkHandle,
 }
 
 impl Ftl {
@@ -146,7 +148,16 @@ impl Ftl {
             geometry,
             config,
             nand,
+            sink: SinkHandle::disabled(),
         }
+    }
+
+    /// Attaches a trace sink to the FTL and its NAND array: GC passes
+    /// become spans on the `ftl/gc` track, NAND ops land on their unit
+    /// tracks. Disabled by default.
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.nand.set_trace_sink(sink.clone());
+        self.sink = sink;
     }
 
     /// Number of logical pages exported to the host.
@@ -406,6 +417,8 @@ impl Ftl {
     pub fn gc_pass(&mut self) -> Option<u32> {
         let victim = self.select_gc_victim()?;
         self.stats.gc_invocations += 1;
+        let gc_start_ns = self.clock().now_ns();
+        let migrated_before = self.stats.gc_pages_migrated;
 
         // Migrate valid pages through the GC stream.
         let valid = self.mapping.valid_pages_of_block(victim);
@@ -441,11 +454,26 @@ impl Ftl {
         // All pages now stale and unpinned: erase (queues on the victim's
         // plane behind the migration reads).
         self.mapping.reset_block(victim);
-        let _ = self
+        let erase_ticket = self
             .nand
             .erase_block_async(victim_base)
             .expect("erase victim");
         self.stats.gc_blocks_erased += 1;
+        if self.sink.is_enabled() {
+            self.sink.span(
+                "ftl/gc",
+                "gc_pass",
+                gc_start_ns,
+                erase_ticket.done_ns,
+                &[
+                    ("victim_block", victim.to_string()),
+                    (
+                        "pages_migrated",
+                        (self.stats.gc_pages_migrated - migrated_before).to_string(),
+                    ),
+                ],
+            );
+        }
         let state = self.nand.block_state(victim_base).expect("block state");
         if state == BlockState::Bad {
             self.allocator.retire_block(victim);

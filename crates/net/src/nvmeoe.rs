@@ -28,6 +28,7 @@ use crate::frame::{EthernetFrame, MacAddr, MAX_PAYLOAD};
 use crate::link::{LinkConfig, SharedLink, SimLink};
 use crate::nic::Nic;
 use bytes::Bytes;
+use rssd_obs::SinkHandle;
 use serde::{Deserialize, Serialize};
 
 /// Capsule header magic ("NVOE" + version 1).
@@ -208,6 +209,9 @@ pub struct NvmeOeEndpoint {
     next_seq: u64,
     rto_ns: u64,
     stats: TransferStats,
+    /// Trace sink for `link_loss` / `retransmission` instants on the
+    /// `wire/uplink` track. Disabled by default.
+    sink: SinkHandle,
 }
 
 impl NvmeOeEndpoint {
@@ -234,7 +238,17 @@ impl NvmeOeEndpoint {
             next_seq: 0,
             rto_ns: Self::DEFAULT_RTO_NS,
             stats: TransferStats::default(),
+            sink: SinkHandle::disabled(),
         }
+    }
+
+    /// Installs a trace sink. Every frame the wire swallows (data or ack,
+    /// loss pattern or partition) emits a `link_loss` instant, and every
+    /// retransmitted capsule emits a `retransmission` instant, both on the
+    /// `wire/uplink` track — so a trace checker can verify that
+    /// retransmissions never outnumber observed losses.
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Overrides the retransmission timeout.
@@ -340,6 +354,18 @@ impl NvmeOeEndpoint {
                 self.stats.capsules_sent += 1;
                 if round > 0 {
                     self.stats.retransmissions += 1;
+                    if self.sink.is_enabled() {
+                        self.sink.instant(
+                            "wire/uplink",
+                            "retransmission",
+                            t,
+                            &[
+                                ("segment_seq", segment_seq.to_string()),
+                                ("fragment", i.to_string()),
+                                ("round", round.to_string()),
+                            ],
+                        );
+                    }
                 }
                 let frame = EthernetFrame::nvme_oe(
                     MacAddr::REMOTE,
@@ -358,6 +384,17 @@ impl NvmeOeEndpoint {
                     received[i] = Some(capsule.payload);
                     last_arrival = last_arrival.max(arrival);
                     progressed = true;
+                } else if self.sink.is_enabled() {
+                    self.sink.instant(
+                        "wire/uplink",
+                        "link_loss",
+                        t,
+                        &[
+                            ("kind", "data".to_string()),
+                            ("segment_seq", segment_seq.to_string()),
+                            ("fragment", i.to_string()),
+                        ],
+                    );
                 }
             }
             // Cumulative ack (or timeout if everything in the round died).
@@ -373,7 +410,19 @@ impl NvmeOeEndpoint {
                 MacAddr::REMOTE,
                 Bytes::from(ack.to_bytes()),
             );
-            match self.to_device.transmit(&ack_frame, last_arrival) {
+            let ack_arrival = self.to_device.transmit(&ack_frame, last_arrival);
+            if ack_arrival.is_none() && self.sink.is_enabled() {
+                self.sink.instant(
+                    "wire/uplink",
+                    "link_loss",
+                    last_arrival,
+                    &[
+                        ("kind", "ack".to_string()),
+                        ("segment_seq", segment_seq.to_string()),
+                    ],
+                );
+            }
+            match ack_arrival {
                 Some(ack_arrival) if complete => {
                     self.stats.acks += 1;
                     t = ack_arrival;

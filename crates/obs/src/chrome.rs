@@ -1,0 +1,183 @@
+//! Chrome trace-event JSON export (Perfetto-loadable).
+//!
+//! Renders [`TraceEvent`]s in the Trace Event Format's JSON-array shape:
+//! one `"X"` (complete) event per span and one `"i"` (instant) event per
+//! marker, with `ts`/`dur` in microseconds of **simulated** time. Each
+//! distinct track name becomes its own thread (`tid`) under a single
+//! process, named via `thread_name` metadata events and ordered with
+//! `thread_sort_index`, so Perfetto shows one labeled row per NAND
+//! channel/plane, link, host round loop and fleet member. Host wall-time
+//! rides along as `host_ns` in every event's `args`.
+
+use crate::trace::{TraceEvent, TraceEventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds with nanosecond resolution kept as decimals.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn args_json(event: &TraceEvent) -> String {
+    let mut out = String::from("{");
+    let _ = write!(out, "\"host_ns\": {}", event.host_ns);
+    for (k, v) in &event.args {
+        let _ = write!(out, ", \"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Exports `events` as a Chrome trace-event JSON document. Deterministic
+/// given the events: tracks are numbered in sorted-name order.
+#[must_use]
+pub fn export_chrome_trace(events: &[TraceEvent]) -> String {
+    // Stable track numbering: sorted unique track names.
+    let mut tids: BTreeMap<&str, usize> = BTreeMap::new();
+    for event in events {
+        let next = tids.len() + 1;
+        tids.entry(&event.track).or_insert(next);
+    }
+    // BTreeMap iteration is name-sorted; renumber in that order.
+    for (i, (_, tid)) in tids.iter_mut().enumerate() {
+        *tid = i + 1;
+    }
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str("  ");
+        out.push_str(&line);
+    };
+
+    for (track, tid) in &tids {
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{}\"}}}}",
+                json_escape(track)
+            ),
+            &mut out,
+            &mut first,
+        );
+        push(
+            format!(
+                "{{\"ph\": \"M\", \"name\": \"thread_sort_index\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"sort_index\": {tid}}}}}"
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    for event in events {
+        let tid = tids[event.track.as_str()];
+        let line = match event.kind {
+            TraceEventKind::Span { dur_ns } => format!(
+                "{{\"ph\": \"X\", \"name\": \"{}\", \"cat\": \"sim\", \"pid\": 1, \
+                 \"tid\": {tid}, \"ts\": {}, \"dur\": {}, \"args\": {}}}",
+                json_escape(&event.name),
+                us(event.sim_ns),
+                us(dur_ns),
+                args_json(event)
+            ),
+            TraceEventKind::Instant => format!(
+                "{{\"ph\": \"i\", \"name\": \"{}\", \"cat\": \"sim\", \"pid\": 1, \
+                 \"tid\": {tid}, \"ts\": {}, \"s\": \"t\", \"args\": {}}}",
+                json_escape(&event.name),
+                us(event.sim_ns),
+                args_json(event)
+            ),
+        };
+        push(line, &mut out, &mut first);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SinkHandle;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let sink = SinkHandle::recording();
+        sink.span(
+            "nand/ch1/pl0",
+            "program",
+            1_500,
+            2_750,
+            &[("lpa", "7".into())],
+        );
+        sink.span("nand/ch0/pl0", "read", 0, 900, &[]);
+        sink.instant("link/uplink", "link_loss", 3_000, &[("seq", "2".into())]);
+        sink.take_events()
+    }
+
+    #[test]
+    fn export_is_valid_json_array_with_named_tracks() {
+        let doc = export_chrome_trace(&sample_events());
+        assert!(doc.trim_start().starts_with('['));
+        assert!(doc.trim_end().ends_with(']'));
+        // Tracks named via metadata, numbered in sorted order.
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"name\": \"link/uplink\""));
+        assert!(doc.contains("\"name\": \"nand/ch0/pl0\""));
+        // Span timestamps land in microseconds with ns decimals.
+        assert!(doc.contains("\"ts\": 1.500"), "{doc}");
+        assert!(doc.contains("\"dur\": 1.250"), "{doc}");
+        // Instant events carry the "i" phase and a scope.
+        assert!(doc.contains("\"ph\": \"i\""));
+        // Dual timeline: host_ns present in args.
+        assert!(doc.contains("\"host_ns\""));
+        // No trailing comma before the closing bracket.
+        assert!(!doc.contains(",\n]"));
+    }
+
+    #[test]
+    fn track_numbering_is_sorted_and_stable() {
+        let doc = export_chrome_trace(&sample_events());
+        let link = doc.find("\"name\": \"link/uplink\"").unwrap();
+        let ch0 = doc.find("\"name\": \"nand/ch0/pl0\"").unwrap();
+        let ch1 = doc.find("\"name\": \"nand/ch1/pl0\"").unwrap();
+        assert!(link < ch0 && ch0 < ch1, "metadata in sorted track order");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let sink = SinkHandle::recording();
+        sink.instant("t\"rack", "na\\me", 0, &[("k", "line\nbreak".into())]);
+        let doc = export_chrome_trace(&sink.take_events());
+        assert!(doc.contains("t\\\"rack"));
+        assert!(doc.contains("na\\\\me"));
+        assert!(doc.contains("line\\nbreak"));
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_document() {
+        let doc = export_chrome_trace(&[]);
+        assert_eq!(doc.trim(), "[\n\n]".trim());
+    }
+}

@@ -1,0 +1,279 @@
+//! Host-side phase profiling for the simulator's own hot loops.
+//!
+//! A [`ProfilerHandle`] is threaded (like a trace sink) into the replay hot
+//! path: `enter(phase)` / `exit()` bracket regions of host work, and the
+//! profiler charges elapsed wall-time to whichever phase is on top of the
+//! stack — **self-time** accounting, so nested phases never double-count
+//! and the per-phase totals sum to exactly the profiled wall-clock span.
+//! That structural identity is what lets the CI gate demand "phases sum to
+//! ~100%" instead of trusting the instrumentation.
+//!
+//! Like the trace sink, a disabled handle (the default) compiles each
+//! call down to one `Option` check.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Wall-clock time charged per phase, plus the total profiled span.
+///
+/// Phase names map to **self**-nanoseconds (time spent with that phase on
+/// top of the stack); `total_ns` is the whole profiled span, and time
+/// outside any `enter`/`exit` bracket is charged to the `"other"` phase,
+/// so `phases.values().sum() == total_ns` holds by construction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileBreakdown {
+    /// Self-time per phase, in host nanoseconds.
+    pub phases: BTreeMap<String, u64>,
+    /// Total profiled wall-clock span, in host nanoseconds.
+    pub total_ns: u64,
+}
+
+/// The phase charged when no explicit phase is active.
+pub const OTHER_PHASE: &str = "other";
+
+impl ProfileBreakdown {
+    /// Self-time of `phase` (0 if never entered).
+    #[must_use]
+    pub fn phase_ns(&self, phase: &str) -> u64 {
+        self.phases.get(phase).copied().unwrap_or(0)
+    }
+
+    /// `phase`'s share of the total, in percent (0 when nothing profiled).
+    #[must_use]
+    pub fn phase_pct(&self, phase: &str) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        100.0 * self.phase_ns(phase) as f64 / self.total_ns as f64
+    }
+
+    /// Phase names and self-times, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.phases.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Folds `other` into `self`: per-phase self-times and totals add.
+    /// Associative and commutative with `default()` as identity — the
+    /// fleet merge folds member breakdowns with this, in member-id order
+    /// like every other stat (the order is immaterial here, but uniform).
+    pub fn merge(&mut self, other: &ProfileBreakdown) {
+        for (phase, &ns) in &other.phases {
+            *self.phases.entry(phase.clone()).or_insert(0) += ns;
+        }
+        self.total_ns += other.total_ns;
+    }
+}
+
+#[derive(Debug)]
+struct ProfilerInner {
+    /// Stack of active phase names.
+    stack: Vec<&'static str>,
+    /// Instant at which the phase currently on top started accruing.
+    last: Instant,
+    started: Instant,
+    acc: BTreeMap<String, u64>,
+}
+
+impl ProfilerInner {
+    fn charge_current(&mut self) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last).as_nanos() as u64;
+        let phase = self.stack.last().copied().unwrap_or(OTHER_PHASE);
+        *self.acc.entry(phase.to_string()).or_insert(0) += elapsed;
+        self.last = now;
+    }
+}
+
+/// Explicit, clonable handle to a phase profiler. Default = disabled.
+#[derive(Clone, Default)]
+pub struct ProfilerHandle(Option<Rc<RefCell<ProfilerInner>>>);
+
+impl ProfilerHandle {
+    /// The disabled profiler: `enter`/`exit` are no-ops.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ProfilerHandle(None)
+    }
+
+    /// An enabled profiler; the profiled span starts now.
+    #[must_use]
+    pub fn enabled() -> Self {
+        let now = Instant::now();
+        ProfilerHandle(Some(Rc::new(RefCell::new(ProfilerInner {
+            stack: Vec::new(),
+            last: now,
+            started: now,
+            acc: BTreeMap::new(),
+        }))))
+    }
+
+    /// Is this profiler collecting?
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Enters `phase`: elapsed time since the last transition is charged to
+    /// the enclosing phase (or `"other"` at top level), then `phase` starts
+    /// accruing.
+    pub fn enter(&self, phase: &'static str) {
+        let Some(inner) = &self.0 else { return };
+        let mut inner = inner.borrow_mut();
+        inner.charge_current();
+        inner.stack.push(phase);
+    }
+
+    /// Exits the current phase, charging its elapsed self-time. A spurious
+    /// `exit` with an empty stack charges `"other"` and is otherwise
+    /// harmless.
+    pub fn exit(&self) {
+        let Some(inner) = &self.0 else { return };
+        let mut inner = inner.borrow_mut();
+        inner.charge_current();
+        inner.stack.pop();
+    }
+
+    /// Finishes the profiled span and returns the breakdown: any phases
+    /// still open are closed, the remainder is charged to `"other"`, and
+    /// `total_ns` is set so that the per-phase self-times sum to it
+    /// exactly. The handle resets to a fresh span afterwards.
+    #[must_use]
+    pub fn finish(&self) -> ProfileBreakdown {
+        let Some(inner) = &self.0 else {
+            return ProfileBreakdown::default();
+        };
+        let mut inner = inner.borrow_mut();
+        while !inner.stack.is_empty() {
+            inner.charge_current();
+            inner.stack.pop();
+        }
+        inner.charge_current();
+        let phases = std::mem::take(&mut inner.acc);
+        let total_ns = phases.values().sum();
+        inner.started = Instant::now();
+        inner.last = inner.started;
+        ProfileBreakdown { phases, total_ns }
+    }
+}
+
+impl std::fmt::Debug for ProfilerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "ProfilerHandle(disabled)"),
+            Some(inner) => write!(
+                f,
+                "ProfilerHandle(depth {}, running {:?})",
+                inner.borrow().stack.len(),
+                inner.borrow().started.elapsed()
+            ),
+        }
+    }
+}
+
+/// Like [`SinkHandle`](crate::SinkHandle): profiler identity is not
+/// simulation state, so handles compare equal unconditionally.
+impl PartialEq for ProfilerHandle {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for ProfilerHandle {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(iters: u64) -> u64 {
+        let mut acc = 1u64;
+        for i in 0..iters {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc)
+    }
+
+    #[test]
+    fn disabled_profiler_is_a_no_op() {
+        let p = ProfilerHandle::disabled();
+        p.enter("a");
+        p.exit();
+        assert!(!p.is_enabled());
+        assert_eq!(p.finish(), ProfileBreakdown::default());
+    }
+
+    #[test]
+    fn self_times_sum_exactly_to_total() {
+        let p = ProfilerHandle::enabled();
+        p.enter("sort");
+        spin(10_000);
+        p.enter("inner");
+        spin(10_000);
+        p.exit();
+        spin(10_000);
+        p.exit();
+        spin(10_000);
+        let breakdown = p.finish();
+        let sum: u64 = breakdown.phases.values().sum();
+        assert_eq!(sum, breakdown.total_ns, "structural 100% identity");
+        assert!(breakdown.phase_ns("sort") > 0);
+        assert!(breakdown.phase_ns("inner") > 0);
+        assert!(breakdown.phase_ns(OTHER_PHASE) > 0);
+        let pct: f64 = breakdown
+            .iter()
+            .map(|(name, _)| breakdown.phase_pct(name))
+            .sum();
+        assert!((pct - 100.0).abs() < 1e-6, "pct sum {pct}");
+    }
+
+    #[test]
+    fn unbalanced_exits_are_harmless() {
+        let p = ProfilerHandle::enabled();
+        p.exit();
+        p.enter("a");
+        let breakdown = p.finish();
+        let sum: u64 = breakdown.phases.values().sum();
+        assert_eq!(sum, breakdown.total_ns);
+    }
+
+    #[test]
+    fn breakdown_merge_identity_and_associativity() {
+        let mk = |a: u64, b: u64| {
+            let mut phases = BTreeMap::new();
+            phases.insert("sort".to_string(), a);
+            phases.insert("wire".to_string(), b);
+            ProfileBreakdown {
+                phases,
+                total_ns: a + b,
+            }
+        };
+        let (a, b, c) = (mk(5, 10), mk(100, 1), mk(7, 7));
+        let mut with_identity = a.clone();
+        with_identity.merge(&ProfileBreakdown::default());
+        assert_eq!(with_identity, a);
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c.total_ns, 130);
+    }
+
+    #[test]
+    fn finish_resets_for_a_fresh_span() {
+        let p = ProfilerHandle::enabled();
+        p.enter("a");
+        p.exit();
+        let first = p.finish();
+        assert!(first.total_ns > 0);
+        let second = p.finish();
+        assert!(
+            second.phase_ns("a") == 0,
+            "phase a must not leak into the next span"
+        );
+    }
+}

@@ -51,6 +51,7 @@
 
 use crate::device::{BlockDevice, DeviceError};
 use crate::queue::LatencyStats;
+use rssd_obs::{ProfilerHandle, SinkHandle};
 use std::collections::HashSet;
 
 /// One host I/O command — the unit of submission on a queue pair.
@@ -399,6 +400,12 @@ pub struct NvmeController<D: BlockDevice> {
     queues: Vec<QueuePair>,
     rr_next: usize,
     arbitration_burst: usize,
+    /// Host-side phase profiler (disabled by default: every `enter`/`exit`
+    /// is a no-op behind one `Option` check).
+    profiler: ProfilerHandle,
+    /// Trace sink for per-round spans on the `host/rounds` track.
+    sink: SinkHandle,
+    rounds: u64,
 }
 
 impl<D: BlockDevice> NvmeController<D> {
@@ -423,7 +430,22 @@ impl<D: BlockDevice> NvmeController<D> {
             queues: Vec::new(),
             rr_next: 0,
             arbitration_burst: burst,
+            profiler: ProfilerHandle::disabled(),
+            sink: SinkHandle::disabled(),
+            rounds: 0,
         }
+    }
+
+    /// Installs a phase profiler; rounds then charge their fetch, device
+    /// execution, completion sorting and stats/posting time to named phases.
+    pub fn set_profiler(&mut self, profiler: ProfilerHandle) {
+        self.profiler = profiler;
+    }
+
+    /// Installs a trace sink; each non-empty round emits one span on the
+    /// `host/rounds` track covering the simulated time the batch consumed.
+    pub fn set_trace_sink(&mut self, sink: SinkHandle) {
+        self.sink = sink;
     }
 
     /// Shared access to the device (stats, model name, clock).
@@ -589,7 +611,9 @@ impl<D: BlockDevice> NvmeController<D> {
         if queue_count == 0 {
             return 0;
         }
+        let round_start_ns = self.device.clock().now_ns();
         // (queue index, id, submitted_at) per fetched command, in batch order.
+        self.profiler.enter("arbitration");
         let mut meta: Vec<(usize, CommandId, u64)> = Vec::new();
         let mut commands: Vec<IoCommand> = Vec::new();
         for step in 0..queue_count {
@@ -608,11 +632,14 @@ impl<D: BlockDevice> NvmeController<D> {
             }
         }
         self.rr_next = (self.rr_next + 1) % queue_count;
+        self.profiler.exit();
         if commands.is_empty() {
             return 0;
         }
         let executed = commands.len();
+        self.profiler.enter("nand_timing");
         let timed = self.device.submit_batch_timed(commands);
+        self.profiler.exit();
         // A hard assert: a non-conforming override would otherwise silently
         // drop completions and leak their in-flight command ids.
         assert_eq!(
@@ -624,8 +651,11 @@ impl<D: BlockDevice> NvmeController<D> {
         // to submission when the device pipelines overlap commands); ties —
         // including every command on a serial device — stay in submission
         // order, so FIFO semantics degrade gracefully.
+        self.profiler.enter("completion_sort");
         let mut order: Vec<usize> = (0..executed).collect();
         order.sort_by_key(|&i| timed[i].1);
+        self.profiler.exit();
+        self.profiler.enter("stats");
         let mut timed: Vec<Option<(CommandResult, u64)>> = timed.into_iter().map(Some).collect();
         for i in order {
             let (result, completed_at_ns) = timed[i].take().expect("each slot posted once");
@@ -648,6 +678,21 @@ impl<D: BlockDevice> NvmeController<D> {
                     completed_at_ns,
                 })
                 .unwrap_or_else(|_| unreachable!("completion slot reserved at fetch"));
+        }
+        self.profiler.exit();
+        self.rounds += 1;
+        if self.sink.is_enabled() {
+            let round_end_ns = self.device.clock().now_ns();
+            self.sink.span(
+                "host/rounds",
+                "nvme_round",
+                round_start_ns,
+                round_end_ns,
+                &[
+                    ("round", self.rounds.to_string()),
+                    ("executed", executed.to_string()),
+                ],
+            );
         }
         executed
     }

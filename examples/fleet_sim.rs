@@ -10,14 +10,28 @@
 //!
 //! ```sh
 //! cargo run --example fleet_sim
+//! # dual-timeline trace for https://ui.perfetto.dev:
+//! cargo run --example fleet_sim -- --trace-out fleet_trace.json
 //! ```
 //!
 //! [`Fleet`]: rssd_repro::fleet::Fleet
 
 use rssd_repro::detect::Verdict;
-use rssd_repro::fleet::{Fleet, FleetConfig};
+use rssd_repro::fleet::{Fleet, FleetConfig, ObsOptions};
+use rssd_repro::obs::export_chrome_trace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
     let config = FleetConfig {
         members: 12,
         workers: 2,
@@ -31,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.members, config.tenants, config.zipf_theta, config.workers, config.seed
     );
 
-    let report = Fleet::new(config).run()?;
+    let (report, obs) = Fleet::new(config).run_instrumented(ObsOptions {
+        trace: trace_out.is_some(),
+        profile: true,
+    })?;
 
     println!(
         "{:>3} {:<7} {:>6} {:<10} {:>6} {:>6} {:>11} {:>6} {:>6}  chain",
@@ -97,6 +114,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.false_positives,
         report.detection_recall(),
     );
+
+    let profile = &obs.profile;
+    if profile.total_ns > 0 {
+        let breakdown = profile
+            .iter()
+            .map(|(phase, _)| format!("{phase} {:.1}%", profile.phase_pct(phase)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!(
+            "host profile:   {:.1} ms across members ({breakdown})",
+            profile.total_ns as f64 / 1e6
+        );
+    }
+    if let Some(path) = &trace_out {
+        std::fs::write(path, export_chrome_trace(&obs.events))?;
+        println!(
+            "trace:          {} events -> {path} (load in https://ui.perfetto.dev)",
+            obs.events.len()
+        );
+    }
 
     // The invariants CI relies on: every compromised member flagged by its
     // own audit, no clean member smeared, and the fused stream sees the

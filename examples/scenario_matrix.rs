@@ -9,11 +9,30 @@
 //!
 //! ```sh
 //! cargo run --example scenario_matrix
+//! # dual-timeline trace for https://ui.perfetto.dev:
+//! cargo run --example scenario_matrix -- --trace-out matrix_trace.json
 //! ```
 
 use rssd_repro::faults::{MatrixSummary, ScenarioMatrix, Verdict};
+use rssd_repro::obs::{export_chrome_trace, SinkHandle};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut trace_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(args.next().ok_or("--trace-out needs a path")?);
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+    let sink = if trace_out.is_some() {
+        SinkHandle::recording()
+    } else {
+        SinkHandle::disabled()
+    };
+
     let matrix = ScenarioMatrix::curated();
     println!(
         "scenario matrix: {} cells (profile/actor/fault/topology)\n",
@@ -27,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut cards = Vec::new();
     for cell in &matrix.cells {
-        let card = cell.run().map_err(|e| format!("{}: {e}", cell.cell_id()))?;
+        // Each cell gets its own track namespace so independent simulated
+        // clocks never interleave on one track.
+        let cell_sink = sink.with_track_prefix(&format!("{}/", cell.cell_id()));
+        let card = cell
+            .run_traced(cell_sink)
+            .map_err(|e| format!("{}: {e}", cell.cell_id()))?;
         let verdict = match card.verdict {
             Verdict::Benign => "benign",
             Verdict::Suspicious => "suspicious",
@@ -92,5 +116,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = ScenarioMatrix::bench_rows(&cards);
     let path = rssd_repro::bench_support::write_bench_json("scenarios", &rows)?;
     println!("\nwrote {}", path.display());
+
+    if let Some(out) = &trace_out {
+        let events = sink.take_events();
+        std::fs::write(out, export_chrome_trace(&events))?;
+        println!(
+            "wrote {} trace events to {out} (load in https://ui.perfetto.dev)",
+            events.len()
+        );
+    }
     Ok(())
 }

@@ -16,6 +16,7 @@ pub use rssd_flash as flash;
 pub use rssd_fleet as fleet;
 pub use rssd_ftl as ftl;
 pub use rssd_net as net;
+pub use rssd_obs as obs;
 pub use rssd_remote as remote;
 pub use rssd_ssd as ssd;
 pub use rssd_trace as trace;

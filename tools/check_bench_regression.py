@@ -28,13 +28,62 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 
 
-def load_rows(name: str) -> dict:
+def load_doc(name: str) -> dict:
     path = ROOT / name
     if not path.is_file():
         sys.exit(f"FAIL: {name} missing - run `cargo bench --bench "
                  f"{name.removeprefix('BENCH_').removesuffix('.json')}` first")
-    data = json.loads(path.read_text())
-    return {row["config"]: row for row in data["rows"]}
+    return json.loads(path.read_text())
+
+
+def load_rows(name: str) -> dict:
+    return {row["config"]: row for row in load_doc(name)["rows"]}
+
+
+def check_profile_section(name: str, doc: dict, required: tuple) -> list[str]:
+    """The host-profile contract: a "profile" section whose per-phase
+    self-times are the whole span partitioned - percentages must sum to
+    ~100 (the profiler's self-time accounting makes this structural, so a
+    drift means broken instrumentation, not noise) and the named hot-loop
+    phases must actually accrue."""
+    failures = []
+    profile = doc.get("profile")
+    if not profile:
+        return [f"{name}: profile section missing - phase timers not wired"]
+    phases = {p["phase"]: p for p in profile.get("phases", [])}
+    pct_sum = sum(p["pct"] for p in phases.values())
+    if abs(pct_sum - 100.0) > 0.1:
+        failures.append(
+            f"{name}: profile phases sum to {pct_sum:.3f}% - self-time "
+            "accounting no longer partitions the span")
+    self_sum = sum(p["self_ms"] for p in phases.values())
+    total = profile.get("total_ms", 0.0)
+    if total <= 0.0:
+        failures.append(f"{name}: profile total_ms is {total}")
+    elif abs(self_sum - total) > max(0.001, 0.001 * total):
+        failures.append(
+            f"{name}: phase self_ms sum {self_sum:.3f} != total_ms "
+            f"{total:.3f}")
+    for phase in required:
+        if phase not in phases:
+            failures.append(f"{name}: required phase {phase!r} missing")
+        elif phases[phase]["self_ms"] <= 0.0:
+            failures.append(f"{name}: phase {phase!r} never accrued")
+    return failures
+
+
+def check_profile() -> list[str]:
+    doc = load_doc("BENCH_profile.json")
+    failures = check_profile_section(
+        "BENCH_profile.json", doc,
+        ("arbitration", "nand_timing", "completion_sort", "stats", "wire"))
+    # The rows mirror the profile section one phase per row.
+    rows = {row["config"]: row for row in doc["rows"]}
+    pct_sum = sum(row["pct"] for row in rows.values())
+    if abs(pct_sum - 100.0) > 0.1:
+        failures.append(
+            f"BENCH_profile.json: row pcts sum to {pct_sum:.3f}%")
+    return failures
 
 
 def check_qd_sweep() -> list[str]:
@@ -122,8 +171,11 @@ def check_offload_wire() -> list[str]:
 
 
 def check_fleet() -> list[str]:
-    rows = load_rows("BENCH_fleet.json")
-    failures = []
+    doc = load_doc("BENCH_fleet.json")
+    rows = {row["config"]: row for row in doc["rows"]}
+    failures = check_profile_section(
+        "BENCH_fleet.json", doc,
+        ("arbitration", "nand_timing", "completion_sort", "stats", "detect"))
     sizes = (16, 64, 256)
     workers = (1, 4, 8)
     for members in sizes:
@@ -186,7 +238,7 @@ def check_fleet() -> list[str]:
 
 def main() -> None:
     failures = (check_qd_sweep() + check_array_scaling() + check_offload_wire()
-                + check_fleet())
+                + check_fleet() + check_profile())
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
@@ -194,7 +246,8 @@ def main() -> None:
     print("bench regression gate: OK "
           "(QD scaling >= 2x, monotonic, rssd != plain, p50 < p99, "
           "wire physics hold, recovery survives every link, "
-          "fleet deterministic across workers, sim-throughput floor holds)")
+          "fleet deterministic across workers, sim-throughput floor holds, "
+          "host profiles partition their spans)")
 
 
 if __name__ == "__main__":
