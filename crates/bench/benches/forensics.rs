@@ -54,8 +54,19 @@ fn print_report() {
     // Tamper evidence: corrupt one stored segment and watch verification fail.
     let mut d = build_attacked_device(8);
     let seq = d.remote().stored_segments()[0];
-    let mut envelope = d.remote_mut().fetch_segment(seq).unwrap();
-    envelope.sealed_payload[40] ^= 0x01;
+    let clean = d.remote_mut().fetch_segment(seq).unwrap();
+    // The envelope's wire image is shared by refcount; tampering means
+    // rebuilding it around a flipped copy of the payload.
+    let mut payload = clean.sealed_payload().to_vec();
+    payload[40] ^= 0x01;
+    let _envelope = rssd_core::SegmentEnvelope::new(
+        clean.device_id(),
+        clean.segment_seq(),
+        clean.prev_chain_head(),
+        clean.chain_head(),
+        clean.record_count(),
+        &payload,
+    );
     // Re-store the corrupted envelope via a fresh loopback replacement:
     // simplest tamper injection is directly on a copy of the history check.
     let tampered = d

@@ -11,8 +11,8 @@ use rssd_trace::{synthesize_page, PayloadKind};
 
 fn goodput_gbps(link: LinkConfig, segment_bytes: usize) -> f64 {
     let mut fabric = NvmeOeEndpoint::new(link);
-    let payload = vec![0xA5u8; segment_bytes];
-    let (done_ns, _) = fabric.transfer_segment(0, &payload, 0);
+    let payload = bytes::Bytes::from(vec![0xA5u8; segment_bytes]);
+    let (done_ns, _) = fabric.transfer_segment(0, payload, 0);
     segment_bytes as f64 / done_ns as f64 // bytes/ns == GB/s
 }
 
@@ -62,10 +62,10 @@ fn bench_offload(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("transfer_1mib_datacenter", |b| {
-        let payload = vec![0u8; 1024 * 1024];
+        let payload = bytes::Bytes::from(vec![0u8; 1024 * 1024]);
         b.iter(|| {
             let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-            fabric.transfer_segment(0, &payload, 0)
+            fabric.transfer_segment(0, payload.clone(), 0)
         })
     });
 

@@ -4,7 +4,8 @@
 //! Replays the qd_sweep mixed workload against RSSD at QD32 with a
 //! [`ProfilerHandle`] threaded through the NVMe controller and the device
 //! (phases: `arbitration`, `nand_timing`, `completion_sort`, `stats`,
-//! `wire`, remainder in `other`) and a recording trace sink attached, then
+//! `wire` with `compress` split out as its own self-time phase, remainder
+//! in `other`) and a recording trace sink attached, then
 //! writes the breakdown to `BENCH_profile.json`. Because the profiler does
 //! **self-time** accounting, the per-phase percentages sum to exactly 100 —
 //! asserted here and re-checked from the JSON by the CI regression gate.
@@ -141,7 +142,14 @@ fn print_profile() {
         (pct_sum - 100.0).abs() < 1e-6,
         "phase percentages must sum to 100, got {pct_sum}"
     );
-    for phase in ["arbitration", "nand_timing", "completion_sort", "stats"] {
+    for phase in [
+        "arbitration",
+        "nand_timing",
+        "completion_sort",
+        "stats",
+        "wire",
+        "compress",
+    ] {
         assert!(
             profile.phase_ns(phase) > 0,
             "phase {phase} never accrued — instrumentation hole in the hot loop"

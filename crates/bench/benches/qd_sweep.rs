@@ -95,6 +95,7 @@ fn print_sweep() {
     for &depth in &DEPTHS {
         let mut plain_tput = 0.0;
         for model in ["plain", "rssd"] {
+            let wall = std::time::Instant::now();
             let run = match model {
                 "plain" => run_at_depth(
                     mk_plain(g, NandTiming::mlc_default(), SimClock::new()),
@@ -106,6 +107,14 @@ fn print_sweep() {
                     depth,
                     |d| d.nand_stats().clone(),
                 ),
+            };
+            // Host wall-clock throughput of the whole replay — the perf
+            // surface the zero-copy offload path is gated on in CI.
+            let host_secs = wall.elapsed().as_secs_f64();
+            let ops_per_host_sec = if host_secs > 0.0 {
+                run.stats.completed as f64 / host_secs
+            } else {
+                0.0
             };
             let tput = run.throughput_kiops();
             println!(
@@ -132,6 +141,7 @@ fn print_sweep() {
                 ("throughput_kiops", tput),
                 ("sim_end_ms", run.end_ns as f64 / 1e6),
                 ("chan_util_avg", run.utilization_avg()),
+                ("ops_per_host_sec", ops_per_host_sec),
             ];
             if model == "plain" {
                 plain_tput = tput;

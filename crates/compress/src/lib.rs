@@ -101,31 +101,114 @@ const FRAME_HEADER: usize = 5; // codec id (1) + original length (4, LE)
 /// (`[codec id][orig len][payload]`). Falls back to [`Codec::Store`] when the
 /// codec would expand the data, so frames never grow more than the header.
 pub fn compress(codec: Codec, data: &[u8]) -> Vec<u8> {
-    let payload = match codec {
-        Codec::Store => None,
-        Codec::Rle => Some(rle::encode(data)),
-        Codec::Lz77 => Some(lz::encode(data)),
-    };
-    let (codec, payload) = match payload {
-        Some(p) if p.len() < data.len() => (codec, p),
-        _ => (Codec::Store, data.to_vec()),
-    };
-    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
-    out.push(codec.id());
-    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+    let mut out = Vec::with_capacity(FRAME_HEADER + data.len());
+    compress_into(codec, data, &mut out);
     out
 }
 
-/// Compresses with the better of RLE and LZ77 for this payload, preferring
-/// LZ77 on ties. This is what RSSD's offload engine uses per segment.
-pub fn compress_adaptive(data: &[u8]) -> Vec<u8> {
-    let lz_frame = compress(Codec::Lz77, data);
-    let rle_frame = compress(Codec::Rle, data);
-    if rle_frame.len() < lz_frame.len() {
-        rle_frame
+/// Like [`compress`], but appends the frame to `out` instead of allocating.
+/// The codec encodes straight into the buffer; only when it would expand the
+/// data is the attempt truncated away and the payload stored verbatim.
+pub fn compress_into(codec: Codec, data: &[u8], out: &mut Vec<u8>) {
+    let frame_start = out.len();
+    out.push(codec.id());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    let payload_start = out.len();
+    match codec {
+        Codec::Store => {}
+        Codec::Rle => rle::encode_into(data, out),
+        Codec::Lz77 => lz::encode_into(data, out),
+    }
+    if codec == Codec::Store || out.len() - payload_start >= data.len() {
+        out.truncate(payload_start);
+        out.extend_from_slice(data);
+        out[frame_start] = Codec::Store.id();
+    }
+}
+
+// The adaptive gate samples at most this many bytes to classify a payload.
+const GATE_SAMPLE_TARGET: usize = 4096;
+// At or above this sampled entropy (bits/byte) the payload is treated as
+// incompressible — ciphertext and random data land here — and stored
+// verbatim without running either codec.
+const GATE_STORE_ENTROPY_BITS: f64 = 7.0;
+// RLE is only attempted when at least this fraction of sampled adjacent
+// byte pairs are equal; below it RLE cannot beat LZ77 on this format.
+const GATE_RLE_RUN_FRACTION: f64 = 0.75;
+
+/// Sampled statistics of a payload: (entropy estimate in bits/byte,
+/// fraction of sampled adjacent byte pairs that are equal).
+///
+/// Deterministic: a fixed stride over the buffer, no randomness.
+fn sampled_stats(data: &[u8]) -> (f64, f64) {
+    if data.is_empty() {
+        return (0.0, 0.0);
+    }
+    let stride = (data.len() / GATE_SAMPLE_TARGET).max(1);
+    let mut hist = [0u32; 256];
+    let mut samples = 0u32;
+    let mut pairs = 0u32;
+    let mut equal_pairs = 0u32;
+    let mut i = 0usize;
+    while i < data.len() {
+        hist[data[i] as usize] += 1;
+        samples += 1;
+        if i + 1 < data.len() {
+            pairs += 1;
+            if data[i + 1] == data[i] {
+                equal_pairs += 1;
+            }
+        }
+        i += stride;
+    }
+    let total = f64::from(samples);
+    let mut bits = 0.0f64;
+    for &count in &hist {
+        if count > 0 {
+            let p = f64::from(count) / total;
+            bits -= p * p.log2();
+        }
+    }
+    let run_fraction = if pairs == 0 {
+        0.0
     } else {
-        lz_frame
+        f64::from(equal_pairs) / f64::from(pairs)
+    };
+    (bits, run_fraction)
+}
+
+/// Compresses with the codec a sampled classification of the payload picks.
+/// This is what RSSD's offload engine uses per segment.
+///
+/// High-entropy payloads (ciphertext, random data — exactly what ransomware
+/// produces) are stored verbatim without running a codec at all: the old
+/// run-everything-pick-smallest strategy burned the bulk of the offload
+/// budget discovering that encrypted pages don't compress. RLE is attempted
+/// only when the sample shows run-dominated data (zero/trim pages), where it
+/// beats LZ77; otherwise LZ77 alone decides against its store fallback.
+pub fn compress_adaptive(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + data.len());
+    compress_adaptive_into(data, &mut out);
+    out
+}
+
+/// Like [`compress_adaptive`], but appends the frame to `out`. The winning
+/// codec's frame is built in place; the rare RLE-vs-LZ contest (run-dominated
+/// pages, where both frames are tiny) uses a scratch frame for the loser.
+pub fn compress_adaptive_into(data: &[u8], out: &mut Vec<u8>) {
+    let (entropy_bits, run_fraction) = sampled_stats(data);
+    if entropy_bits >= GATE_STORE_ENTROPY_BITS {
+        compress_into(Codec::Store, data, out);
+        return;
+    }
+    let frame_start = out.len();
+    compress_into(Codec::Lz77, data, out);
+    if run_fraction >= GATE_RLE_RUN_FRACTION {
+        let rle_frame = compress(Codec::Rle, data);
+        if rle_frame.len() < out.len() - frame_start {
+            out.truncate(frame_start);
+            out.extend_from_slice(&rle_frame);
+        }
     }
 }
 
@@ -236,6 +319,44 @@ mod tests {
     }
 
     #[test]
+    fn gate_stores_high_entropy_without_running_codecs() {
+        // Ciphertext-like data must classify as incompressible from the
+        // sample alone and come back as a store frame.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let page: Vec<u8> = (0..65536)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 56) as u8
+            })
+            .collect();
+        let (bits, _) = sampled_stats(&page);
+        assert!(bits >= GATE_STORE_ENTROPY_BITS, "sampled {bits} bits/byte");
+        let frame = compress_adaptive(&page);
+        assert_eq!(frame[0], Codec::Store.id());
+        assert_eq!(decompress(&frame).unwrap(), page);
+    }
+
+    #[test]
+    fn gate_still_picks_rle_for_run_dominated_pages() {
+        let page = vec![0u8; 4096];
+        let (bits, runs) = sampled_stats(&page);
+        assert!(bits < 1.0);
+        assert!(runs > GATE_RLE_RUN_FRACTION);
+        let frame = compress_adaptive(&page);
+        assert_eq!(frame[0], Codec::Rle.id());
+    }
+
+    #[test]
+    fn gate_skips_rle_for_structured_data() {
+        let text = b"the quick brown fox jumps over the lazy dog. ".repeat(200);
+        let frame = compress_adaptive(&text);
+        assert_eq!(frame[0], Codec::Lz77.id());
+        assert_eq!(decompress(&frame).unwrap(), text);
+    }
+
+    #[test]
     fn ratio_helper() {
         assert!((ratio(4096, 1024) - 4.0).abs() < 1e-9);
         assert_eq!(ratio(10, 0), 1.0);
@@ -246,6 +367,22 @@ mod tests {
         fn prop_adaptive_round_trip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
             let frame = compress_adaptive(&data);
             prop_assert_eq!(decompress(&frame).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_compress_into_appends_identical_frames(
+            data in proptest::collection::vec(any::<u8>(), 0..4096),
+            prefix in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let mut out = prefix.clone();
+            compress_adaptive_into(&data, &mut out);
+            prop_assert_eq!(&out[..prefix.len()], &prefix[..]);
+            prop_assert_eq!(&out[prefix.len()..], &compress_adaptive(&data)[..]);
+            for codec in [Codec::Store, Codec::Rle, Codec::Lz77] {
+                let mut out = prefix.clone();
+                compress_into(codec, &data, &mut out);
+                prop_assert_eq!(&out[prefix.len()..], &compress(codec, &data)[..]);
+            }
         }
 
         #[test]

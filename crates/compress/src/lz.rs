@@ -1,11 +1,25 @@
 //! An LZ77-style sliding-window codec.
 //!
-//! Token stream: a control byte whose bits select, LSB-first, between a
-//! literal byte (`0`) and a match (`1`) encoded as a 16-bit little-endian
-//! back-distance (`1..=WINDOW`) plus an 8-bit length (`MIN_MATCH..=255`).
-//! The encoder uses a 3-byte hash chain over a 32 KiB window — the same
-//! family of trade-offs a firmware compressor would make (bounded memory,
-//! single pass).
+//! Payload format: a stream of *sequences*, each a token byte whose high
+//! nibble is the literal-run length and low nibble the match length minus
+//! [`MIN_MATCH`] (nibble 15 extends with continuation bytes — 255 adds
+//! another byte — exactly once for matches, whose lengths are capped at
+//! [`MAX_MATCH`]). The token is followed by the literal bytes, then a 16-bit
+//! little-endian back-distance (`1..=WINDOW`) and the optional match-length
+//! extension. A payload may end after a sequence's literals, in which case
+//! that final sequence carries no match.
+//!
+//! The byte-aligned sequence layout means literal runs move with bulk copies
+//! on both sides instead of per-byte control-bit bookkeeping — on the
+//! offload path the encoder is charged to the simulated device's host loop,
+//! so its cost is the paper's "performance overhead" story, not a hidden
+//! constant.
+//!
+//! The encoder is a greedy single-candidate matcher over a 4-byte hash
+//! table — the trade-off a firmware compressor makes: bounded memory, a
+//! single pass, no chain walks. Incompressible stretches are strided over
+//! with LZ4-style skip acceleration so embedded ciphertext pages cost
+//! `O(sqrt(n))` searches rather than one per byte.
 
 use crate::DecompressError;
 
@@ -14,140 +28,307 @@ const MIN_MATCH: usize = 4;
 const MAX_MATCH: usize = 255;
 const HASH_BITS: u32 = 15;
 const HASH_SIZE: usize = 1 << HASH_BITS;
-/// Limit on how many chain entries to probe per position (encoder effort).
-const MAX_PROBES: usize = 32;
+// Skip acceleration: after 2^SKIP_SHIFT consecutive failed searches the
+// encoder starts striding over the input, folding the skipped bytes into
+// the pending literal run without searching them. Match-rich data resets
+// the streak and never strides.
+const SKIP_SHIFT: u32 = 6;
+const MAX_STEP: usize = 32;
+// Nibble value signalling an extended length.
+const NIB_EXT: usize = 15;
+
+/// Unaligned little-endian 32-bit read.
+///
+/// # Safety
+///
+/// `pos + 4 <= data.len()`.
+#[inline]
+unsafe fn read_u32(data: &[u8], pos: usize) -> u32 {
+    debug_assert!(pos + 4 <= data.len());
+    u32::from_le(std::ptr::read_unaligned(data.as_ptr().add(pos).cast()))
+}
+
+/// Unaligned little-endian 64-bit read.
+///
+/// # Safety
+///
+/// `pos + 8 <= data.len()`.
+#[inline]
+unsafe fn read_u64(data: &[u8], pos: usize) -> u64 {
+    debug_assert!(pos + 8 <= data.len());
+    u64::from_le(std::ptr::read_unaligned(data.as_ptr().add(pos).cast()))
+}
 
 #[inline]
-fn hash3(data: &[u8], pos: usize) -> usize {
-    let v =
-        u32::from(data[pos]) | (u32::from(data[pos + 1]) << 8) | (u32::from(data[pos + 2]) << 16);
+fn hash_word(v: u32) -> usize {
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Longest common prefix of `data[a..]` and `data[b..]`, capped at `limit`.
+///
+/// Compares eight bytes per step (XOR + trailing-zero count) instead of one;
+/// the result is exactly the byte-wise prefix length. Callers guarantee
+/// `a < b` and `b + limit <= data.len()`.
+#[inline]
+fn common_prefix(data: &[u8], a: usize, b: usize, limit: usize) -> usize {
+    let mut len = 0usize;
+    while len + 8 <= limit {
+        // SAFETY: len + 8 <= limit and b + limit <= data.len(), a < b.
+        let diff = unsafe { read_u64(data, a + len) ^ read_u64(data, b + len) };
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < limit && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
+/// Copies `len` bytes in eight-byte steps, overstoring up to seven bytes
+/// past `dst + len`.
+///
+/// # Safety
+///
+/// `src..src+len+7` must be readable and `dst..dst+len+7` writable, and the
+/// regions must not overlap.
+#[inline]
+unsafe fn wild_copy(dst: *mut u8, src: *const u8, len: usize) {
+    let mut i = 0usize;
+    while i < len {
+        std::ptr::copy_nonoverlapping(src.add(i), dst.add(i), 8);
+        i += 8;
+    }
+}
+
+/// Appends the payload-terminating literal-only sequence.
+fn emit_terminal(out: &mut Vec<u8>, literals: &[u8]) {
+    let lit_len = literals.len();
+    let lit_nib = lit_len.min(NIB_EXT);
+    out.push((lit_nib as u8) << 4);
+    if lit_nib == NIB_EXT {
+        let mut rem = lit_len - NIB_EXT;
+        while rem >= 255 {
+            out.push(255);
+            rem -= 255;
+        }
+        out.push(rem as u8);
+    }
+    out.extend_from_slice(literals);
+}
+
+/// Writes one match-carrying sequence at `base + op` with an extended
+/// literal run or an extended match length; returns the new write offset.
+///
+/// # Safety
+///
+/// The caller must have reserved capacity for the sequence at `base + op`
+/// (see the worst-case bound in [`encode`]).
+unsafe fn emit_long(
+    base: *mut u8,
+    mut op: usize,
+    literals: &[u8],
+    dist: usize,
+    len: usize,
+) -> usize {
+    let lit_len = literals.len();
+    let lit_nib = lit_len.min(NIB_EXT);
+    let match_nib = (len - MIN_MATCH).min(NIB_EXT);
+    *base.add(op) = ((lit_nib as u8) << 4) | match_nib as u8;
+    op += 1;
+    if lit_nib == NIB_EXT {
+        let mut rem = lit_len - NIB_EXT;
+        while rem >= 255 {
+            *base.add(op) = 255;
+            op += 1;
+            rem -= 255;
+        }
+        *base.add(op) = rem as u8;
+        op += 1;
+    }
+    std::ptr::copy_nonoverlapping(literals.as_ptr(), base.add(op), lit_len);
+    op += lit_len;
+    let d = (dist as u16).to_le_bytes();
+    *base.add(op) = d[0];
+    *base.add(op + 1) = d[1];
+    op += 2;
+    if match_nib == NIB_EXT {
+        *base.add(op) = (len - MIN_MATCH - NIB_EXT) as u8;
+        op += 1;
+    }
+    op
 }
 
 /// LZ77-encodes `data`.
 pub fn encode(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    // head[h]: most recent position with hash h (+1, 0 = none); prev: chains.
+    let mut out = Vec::new();
+    encode_into(data, &mut out);
+    out
+}
+
+/// LZ77-encodes `data`, appending the payload to `out`. Existing contents
+/// are left untouched — this is how the offload engine compresses directly
+/// into the envelope's wire buffer after the header.
+pub fn encode_into(data: &[u8], out: &mut Vec<u8>) {
+    let start = out.len();
+    // Worst-case payload bound: a sequence's overhead beyond its literals is
+    // token (1) + literal-length extension (1 + L/255, only when L >= 15) +
+    // distance (2) + match-length extension (<= 1), while its match covers at
+    // least MIN_MATCH = 4 input bytes. Per sequence the payload therefore
+    // exceeds the input it covers by at most 1 + L/255 bytes, and sequences
+    // with that excess carry >= 15 literals, so the total overshoot is under
+    // n/16. The extra 64 covers the terminating sequence and wild-copy
+    // overstores.
+    let cap = data.len() + data.len() / 16 + 64;
+    out.reserve(cap);
+    // head[h]: most recent position whose 4-byte prefix hashed to h (+1,
+    // 0 = none). A single candidate per bucket: any match of length >= 4
+    // shares its first four bytes with the candidate, so one well-hashed
+    // slot finds the recent repeats that matter without chain walks.
     let mut head = vec![0u32; HASH_SIZE];
-    let mut prev = vec![0u32; data.len().max(1)];
 
     let mut pos = 0usize;
-    let mut control_idx: Option<usize> = None;
-    let mut control_bit = 8u8; // force new control byte on first token
+    let mut lit_start = 0usize;
+    let mut miss_streak = 0usize;
 
-    let mut push_token = |out: &mut Vec<u8>, is_match: bool| -> usize {
-        if control_bit == 8 {
-            out.push(0);
-            control_idx = Some(out.len() - 1);
-            control_bit = 0;
-        }
-        let idx = control_idx.expect("control byte exists");
-        if is_match {
-            out[idx] |= 1 << control_bit;
-        }
-        control_bit += 1;
-        idx
-    };
+    // The hot loop emits through a raw pointer: `out` never reallocates
+    // (capacity is the worst-case bound above, reserved after any existing
+    // contents), so `base` stays valid and `start + op` tracks the logical
+    // length until the final set_len.
+    // SAFETY: `start <= out.capacity()` after the reserve.
+    let base = unsafe { out.as_mut_ptr().add(start) };
+    let mut op = 0usize;
 
-    while pos < data.len() {
-        let mut best_len = 0usize;
-        let mut best_dist = 0usize;
+    while pos + MIN_MATCH <= data.len() {
+        // SAFETY: the loop condition guarantees four readable bytes at `pos`;
+        // `hash_word` output is below HASH_SIZE by construction; a stored
+        // candidate is an earlier loop position, so it also has four
+        // readable bytes.
+        let (candidate, here) = unsafe {
+            let here = read_u32(data, pos);
+            let h = hash_word(here);
+            let slot = head.get_unchecked_mut(h);
+            let candidate = *slot as usize;
+            *slot = (pos + 1) as u32;
+            (candidate, here)
+        };
 
-        if pos + MIN_MATCH <= data.len() && data.len() - pos >= 3 {
-            let h = hash3(data, pos);
-            let mut candidate = head[h] as usize;
-            let mut probes = 0;
-            while candidate > 0 && probes < MAX_PROBES {
-                let cand_pos = candidate - 1;
-                if pos - cand_pos > WINDOW {
-                    break;
-                }
+        let mut matched = false;
+        if candidate > 0 {
+            let cand_pos = candidate - 1;
+            let dist = pos - cand_pos;
+            // SAFETY: cand_pos was a previous value of `pos`, so
+            // cand_pos + 4 <= data.len().
+            if dist <= WINDOW && unsafe { read_u32(data, cand_pos) } == here {
                 let limit = (data.len() - pos).min(MAX_MATCH);
-                let mut len = 0usize;
-                while len < limit && data[cand_pos + len] == data[pos + len] {
-                    len += 1;
-                }
-                if len > best_len {
-                    best_len = len;
-                    best_dist = pos - cand_pos;
-                    if len == limit {
-                        break;
+                let len = common_prefix(data, cand_pos, pos, limit);
+                if len >= MIN_MATCH {
+                    let lit_len = pos - lit_start;
+                    // SAFETY: capacity was reserved for the worst case; the
+                    // wild copy's 7-byte overstore stays inside the slack,
+                    // and its source overread needs 8 readable bytes from
+                    // `lit_start + lit_len - len.min(8)`… gated below on
+                    // `pos + 8 <= data.len()` (literals end at `pos`).
+                    unsafe {
+                        if lit_len < NIB_EXT && len - MIN_MATCH < NIB_EXT && pos + 8 <= data.len() {
+                            *base.add(op) = ((lit_len as u8) << 4) | (len - MIN_MATCH) as u8;
+                            wild_copy(base.add(op + 1), data.as_ptr().add(lit_start), lit_len);
+                            op += 1 + lit_len;
+                            let d = (dist as u16).to_le_bytes();
+                            *base.add(op) = d[0];
+                            *base.add(op + 1) = d[1];
+                            op += 2;
+                        } else {
+                            op = emit_long(base, op, &data[lit_start..pos], dist, len);
+                        }
                     }
+                    // Positions covered by the match are not inserted: the
+                    // head slot for the match's own prefix was just updated,
+                    // which is what the next occurrence will look up.
+                    pos += len;
+                    lit_start = pos;
+                    miss_streak = 0;
+                    matched = true;
                 }
-                candidate = prev[cand_pos] as usize;
-                probes += 1;
             }
         }
-
-        if best_len >= MIN_MATCH {
-            push_token(&mut out, true);
-            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
-            out.push(best_len as u8);
-            // Insert hash entries for all covered positions.
-            let end = pos + best_len;
-            while pos < end {
-                if pos + 3 <= data.len() {
-                    let h = hash3(data, pos);
-                    prev[pos] = head[h];
-                    head[h] = (pos + 1) as u32;
-                }
-                pos += 1;
-            }
-        } else {
-            push_token(&mut out, false);
-            out.push(data[pos]);
-            if pos + 3 <= data.len() {
-                let h = hash3(data, pos);
-                prev[pos] = head[h];
-                head[h] = (pos + 1) as u32;
-            }
-            pos += 1;
+        if !matched {
+            let step = (1 + (miss_streak >> SKIP_SHIFT)).min(MAX_STEP);
+            miss_streak += 1;
+            pos += step;
         }
     }
-    out
+    // SAFETY: `op` counts bytes written within the reserved capacity.
+    unsafe {
+        out.set_len(start + op);
+    }
+    if lit_start < data.len() {
+        emit_terminal(out, &data[lit_start..]);
+    }
 }
 
 /// Decodes an LZ77 payload produced by [`encode`].
 ///
 /// # Errors
 ///
-/// Returns [`DecompressError::Corrupt`] on truncated tokens, zero distances,
-/// or back-references past the start of the output.
+/// Returns [`DecompressError::Corrupt`] on truncated sequences, zero
+/// distances, or back-references past the start of the output.
 pub fn decode(payload: &[u8]) -> Result<Vec<u8>, DecompressError> {
     let mut out = Vec::with_capacity(payload.len() * 2);
     let mut i = 0usize;
     while i < payload.len() {
-        let control = payload[i];
+        let token = payload[i];
         i += 1;
-        for bit in 0..8 {
-            if i >= payload.len() {
-                break;
-            }
-            if control & (1 << bit) != 0 {
-                if i + 3 > payload.len() {
-                    return Err(DecompressError::Corrupt("truncated match token"));
-                }
-                let dist = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
-                let len = payload[i + 2] as usize;
-                i += 3;
-                if dist == 0 {
-                    return Err(DecompressError::Corrupt("match distance of zero"));
-                }
-                if dist > out.len() {
-                    return Err(DecompressError::Corrupt("match distance before start"));
-                }
-                if len < MIN_MATCH {
-                    return Err(DecompressError::Corrupt("match shorter than minimum"));
-                }
-                let start = out.len() - dist;
-                // Overlapping copies are the LZ idiom for runs: copy byte-wise.
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
-                }
-            } else {
-                out.push(payload[i]);
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == NIB_EXT {
+            loop {
+                let b = *payload
+                    .get(i)
+                    .ok_or(DecompressError::Corrupt("truncated literal length"))?;
                 i += 1;
+                lit_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        if i + lit_len > payload.len() {
+            return Err(DecompressError::Corrupt("truncated literal run"));
+        }
+        out.extend_from_slice(&payload[i..i + lit_len]);
+        i += lit_len;
+        if i == payload.len() {
+            // Terminating sequence: literals only.
+            break;
+        }
+        if i + 2 > payload.len() {
+            return Err(DecompressError::Corrupt("truncated match token"));
+        }
+        let dist = u16::from_le_bytes([payload[i], payload[i + 1]]) as usize;
+        i += 2;
+        let mut len = (token & 0x0F) as usize + MIN_MATCH;
+        if token & 0x0F == NIB_EXT as u8 {
+            let b = *payload
+                .get(i)
+                .ok_or(DecompressError::Corrupt("truncated match length"))?;
+            i += 1;
+            len += b as usize;
+        }
+        if dist == 0 {
+            return Err(DecompressError::Corrupt("match distance of zero"));
+        }
+        if dist > out.len() {
+            return Err(DecompressError::Corrupt("match distance before start"));
+        }
+        let start = out.len() - dist;
+        if dist >= len {
+            out.extend_from_within(start..start + len);
+        } else {
+            // Overlapping copies are the LZ idiom for runs: byte-wise.
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
             }
         }
     }
@@ -187,6 +368,16 @@ mod tests {
     }
 
     #[test]
+    fn long_literal_run_round_trips() {
+        // An incompressible stretch longer than a nibble plus several
+        // continuation bytes exercises the extended literal length.
+        let data: Vec<u8> = (0..2000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
     fn long_input_crossing_window() {
         let unit: Vec<u8> = (0..97u8).collect();
         let data: Vec<u8> = unit.iter().cycle().take(100_000).copied().collect();
@@ -194,21 +385,69 @@ mod tests {
     }
 
     #[test]
+    fn structured_records_compress_well() {
+        // The offload segments' dominant shape: small integers with long
+        // zero runs (see PayloadKind::Binary). The single-candidate matcher
+        // must still find the zero runs and the repeated structure.
+        let mut data = Vec::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        while data.len() < 64 * 1024 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            data.extend_from_slice(&(x as u32).to_le_bytes());
+            data.extend_from_slice(&[0u8; 12]);
+        }
+        let enc = encode(&data);
+        assert!(
+            enc.len() < data.len() / 2,
+            "record-structured data must at least halve, got {} of {}",
+            enc.len(),
+            data.len()
+        );
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn max_length_matches_round_trip() {
+        // Long runs produce MAX_MATCH-length matches with the extension byte.
+        let data = vec![0xAAu8; 5000];
+        let enc = encode(&data);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+
+    #[test]
     fn decode_rejects_zero_distance() {
-        // control byte with match bit, dist 0, len 4
-        let payload = [0b0000_0001u8, 0, 0, 4];
+        // token: no literals, match len 4; distance 0.
+        let payload = [0x00u8, 0, 0];
         assert!(decode(&payload).is_err());
     }
 
     #[test]
     fn decode_rejects_distance_past_start() {
-        let payload = [0b0000_0001u8, 5, 0, 4];
+        let payload = [0x00u8, 5, 0];
         assert!(decode(&payload).is_err());
     }
 
     #[test]
     fn decode_rejects_truncated_match() {
-        let payload = [0b0000_0001u8, 1];
+        let payload = [0x00u8, 1];
+        assert!(decode(&payload).is_err());
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let data = b"abcdabcdabcdabcd some literals then abcdabcd".repeat(8);
+        let mut out = b"PREFIX".to_vec();
+        encode_into(&data, &mut out);
+        assert_eq!(&out[..6], b"PREFIX");
+        assert_eq!(&out[6..], &encode(&data)[..]);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_literals() {
+        // token promises 3 literals, payload has 1.
+        let payload = [0x30u8, 7];
         assert!(decode(&payload).is_err());
     }
 }

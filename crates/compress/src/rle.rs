@@ -8,23 +8,37 @@ use crate::DecompressError;
 
 /// Run-length encodes `data`.
 pub fn encode(data: &[u8]) -> Vec<u8> {
-    let mut out = Vec::new();
-    let mut iter = data.iter().copied().peekable();
-    while let Some(byte) = iter.next() {
-        let mut run: u8 = 1;
-        while run < u8::MAX {
-            match iter.peek() {
-                Some(&next) if next == byte => {
-                    iter.next();
-                    run += 1;
-                }
-                _ => break,
-            }
-        }
-        out.push(run);
-        out.push(byte);
-    }
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    encode_into(data, &mut out);
     out
+}
+
+/// Run-length encodes `data`, appending the payload to `out`.
+pub fn encode_into(data: &[u8], out: &mut Vec<u8>) {
+    let mut i = 0usize;
+    while i < data.len() {
+        let byte = data[i];
+        let cap = (data.len() - i).min(u8::MAX as usize);
+        let broadcast = u64::from(byte) * 0x0101_0101_0101_0101;
+        let mut run = 1usize;
+        // Extend eight bytes at a time — runs are the whole point of this
+        // codec, so the extension loop is the hot part on zero/trim pages.
+        while run + 8 <= cap {
+            let w = u64::from_le_bytes(data[i + run..i + run + 8].try_into().expect("8 bytes"));
+            let diff = w ^ broadcast;
+            if diff != 0 {
+                run += (diff.trailing_zeros() / 8) as usize;
+                break;
+            }
+            run += 8;
+        }
+        while run < cap && data[i + run] == byte {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(byte);
+        i += run;
+    }
 }
 
 /// Decodes a run-length payload.

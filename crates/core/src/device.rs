@@ -676,17 +676,29 @@ impl<R: RemoteTarget> RssdDevice<R> {
             links: std::mem::take(&mut self.pending_links),
         };
         let raw = segment.to_bytes();
-        let compressed = rssd_compress::compress_adaptive(&raw);
-        let sealed = self.session.seal(segment.segment_seq, &compressed);
-        let envelope = SegmentEnvelope {
-            device_id: self.config.device_id,
-            segment_seq: segment.segment_seq,
-            prev_chain_head: self.prev_segment_head,
-            chain_head: self.chain.head(),
-            record_count: segment.records.len() as u32,
-            sealed_payload: sealed,
-        };
-        let sealed_len = envelope.sealed_payload.len() as u64;
+        // Zero-copy assembly: build the envelope's wire image directly in
+        // one buffer — header, then the compressed payload appended in
+        // place, then sealed in place. The resulting `Bytes` is shared by
+        // refcount through capsules, frames, retransmissions, and the
+        // remote store; nothing downstream re-serializes or copies it.
+        let chain_head = self.chain.head();
+        let mut wire = Vec::with_capacity(SegmentEnvelope::WIRE_HEADER + raw.len() / 2 + 64);
+        SegmentEnvelope::write_wire_header(
+            &mut wire,
+            self.config.device_id,
+            segment.segment_seq,
+            &self.prev_segment_head,
+            &chain_head,
+            segment.records.len() as u32,
+        );
+        self.profiler.enter("compress");
+        rssd_compress::compress_adaptive_into(&raw, &mut wire);
+        self.profiler.exit();
+        self.session
+            .seal_in_place(segment.segment_seq, &mut wire, SegmentEnvelope::WIRE_HEADER);
+        let envelope = SegmentEnvelope::from_wire_image(wire)
+            .expect("header plus sealed payload is a complete wire image");
+        let sealed_len = envelope.sealed_payload().len() as u64;
         let now = self.ftl.clock().now_ns();
         if self.sink.is_enabled() {
             self.sink.instant(
@@ -898,7 +910,7 @@ pub(crate) fn open_envelope(
     envelope: &SegmentEnvelope,
 ) -> Result<Segment, WireError> {
     let compressed = session
-        .open(envelope.segment_seq, &envelope.sealed_payload)
+        .open(envelope.segment_seq(), envelope.sealed_payload())
         .map_err(|_| WireError::BadPayload)?;
     let raw = rssd_compress::decompress(&compressed).map_err(|_| WireError::BadPayload)?;
     Segment::from_bytes(&raw)
@@ -1347,7 +1359,7 @@ mod tests {
         ) -> Result<crate::remote_target::StoreAck, crate::remote_target::RemoteError> {
             if self.dropping {
                 Ok(crate::remote_target::StoreAck {
-                    segment_seq: envelope.segment_seq,
+                    segment_seq: envelope.segment_seq(),
                     durable_at_ns: now_ns,
                 })
             } else {

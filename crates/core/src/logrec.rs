@@ -11,6 +11,7 @@
 //! is used in this workspace); every decoder is total — malformed input
 //! yields [`WireError`], never a panic.
 
+use bytes::Bytes;
 use rssd_crypto::{ChainLink, Digest};
 use serde::{Deserialize, Serialize};
 
@@ -245,20 +246,18 @@ impl Segment {
 
 /// What crosses the wire: plaintext routing/continuity metadata around the
 /// sealed payload.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Backed by its own canonical wire image — one reference-counted buffer
+/// `[84-byte header | sealed payload]` built exactly once at seal time.
+/// Construction *is* serialization: [`SegmentEnvelope::to_wire_bytes`] and
+/// `clone()` are refcount bumps, and [`SegmentEnvelope::from_wire_bytes`]
+/// adopts a received buffer without copying. Field reads decode from the
+/// header in place (a few little-endian loads).
+#[derive(Clone, PartialEq, Eq)]
 pub struct SegmentEnvelope {
-    /// Originating device.
-    pub device_id: u64,
-    /// Segment number (also the seal nonce input).
-    pub segment_seq: u64,
-    /// Evidence-chain head *before* this segment's first record.
-    pub prev_chain_head: Digest,
-    /// Evidence-chain head after this segment's last record.
-    pub chain_head: Digest,
-    /// Number of records inside.
-    pub record_count: u32,
-    /// compress → encrypt → MAC output.
-    pub sealed_payload: Vec<u8>,
+    /// The canonical wire encoding. Invariant: at least
+    /// [`SegmentEnvelope::WIRE_HEADER`] bytes long.
+    wire: Bytes,
 }
 
 impl SegmentEnvelope {
@@ -267,42 +266,131 @@ impl SegmentEnvelope {
     /// chain_head (32) + record_count (4)`.
     pub const WIRE_HEADER: usize = 8 + 8 + 32 + 32 + 4;
 
-    /// Approximate wire size in bytes.
+    /// Builds an envelope from its parts, serializing header + payload into
+    /// one buffer. For the zero-copy path, assemble the buffer yourself with
+    /// [`SegmentEnvelope::write_wire_header`] and adopt it via
+    /// [`SegmentEnvelope::from_wire_image`].
+    pub fn new(
+        device_id: u64,
+        segment_seq: u64,
+        prev_chain_head: Digest,
+        chain_head: Digest,
+        record_count: u32,
+        sealed_payload: &[u8],
+    ) -> SegmentEnvelope {
+        let mut out = Vec::with_capacity(Self::WIRE_HEADER + sealed_payload.len());
+        Self::write_wire_header(
+            &mut out,
+            device_id,
+            segment_seq,
+            &prev_chain_head,
+            &chain_head,
+            record_count,
+        );
+        out.extend_from_slice(sealed_payload);
+        SegmentEnvelope {
+            wire: Bytes::from(out),
+        }
+    }
+
+    /// Appends the canonical 84-byte envelope header to `out`. The offload
+    /// engine writes this first, compresses and seals the payload in place
+    /// after it, then adopts the finished buffer with
+    /// [`SegmentEnvelope::from_wire_image`] — the single serialization point
+    /// of the whole offload path.
+    pub fn write_wire_header(
+        out: &mut Vec<u8>,
+        device_id: u64,
+        segment_seq: u64,
+        prev_chain_head: &Digest,
+        chain_head: &Digest,
+        record_count: u32,
+    ) {
+        out.reserve(Self::WIRE_HEADER);
+        out.extend_from_slice(&device_id.to_le_bytes());
+        out.extend_from_slice(&segment_seq.to_le_bytes());
+        out.extend_from_slice(prev_chain_head.as_bytes());
+        out.extend_from_slice(chain_head.as_bytes());
+        out.extend_from_slice(&record_count.to_le_bytes());
+    }
+
+    /// Adopts a fully assembled wire image (header + sealed payload) without
+    /// copying. Returns `None` if shorter than the header.
+    pub fn from_wire_image(wire: impl Into<Bytes>) -> Option<SegmentEnvelope> {
+        let wire = wire.into();
+        (wire.len() >= Self::WIRE_HEADER).then_some(SegmentEnvelope { wire })
+    }
+
+    /// Decodes the canonical wire encoding — an alias of
+    /// [`SegmentEnvelope::from_wire_image`], kept for the receive-path
+    /// reading: `None` if `data` is shorter than
+    /// [`SegmentEnvelope::WIRE_HEADER`]. The sealed payload is *not*
+    /// authenticated here — tampering is caught by the secure session's MAC
+    /// when the payload is opened.
+    pub fn from_wire_bytes(data: impl Into<Bytes>) -> Option<SegmentEnvelope> {
+        Self::from_wire_image(data)
+    }
+
+    /// Originating device.
+    pub fn device_id(&self) -> u64 {
+        u64::from_le_bytes(self.wire[..8].try_into().expect("8"))
+    }
+
+    /// Segment number (also the seal nonce input).
+    pub fn segment_seq(&self) -> u64 {
+        u64::from_le_bytes(self.wire[8..16].try_into().expect("8"))
+    }
+
+    /// Evidence-chain head *before* this segment's first record.
+    pub fn prev_chain_head(&self) -> Digest {
+        Digest::from_bytes(self.wire[16..48].try_into().expect("32"))
+    }
+
+    /// Evidence-chain head after this segment's last record.
+    pub fn chain_head(&self) -> Digest {
+        Digest::from_bytes(self.wire[48..80].try_into().expect("32"))
+    }
+
+    /// Number of records inside.
+    pub fn record_count(&self) -> u32 {
+        u32::from_le_bytes(self.wire[80..84].try_into().expect("4"))
+    }
+
+    /// compress → encrypt → MAC output.
+    pub fn sealed_payload(&self) -> &[u8] {
+        &self.wire[Self::WIRE_HEADER..]
+    }
+
+    /// Wire size in bytes.
     pub fn wire_bytes(&self) -> usize {
-        Self::WIRE_HEADER + self.sealed_payload.len()
+        self.wire.len()
     }
 
     /// Canonical wire encoding: the [`SegmentEnvelope::WIRE_HEADER`] fields
     /// little-endian, followed by the sealed payload. This is the byte
     /// stream that NVMe-oE capsules fragment and carry — both `WireRemote`
     /// on the device side and the remote log server speak exactly this.
-    pub fn to_wire_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_bytes());
-        out.extend_from_slice(&self.device_id.to_le_bytes());
-        out.extend_from_slice(&self.segment_seq.to_le_bytes());
-        out.extend_from_slice(self.prev_chain_head.as_bytes());
-        out.extend_from_slice(self.chain_head.as_bytes());
-        out.extend_from_slice(&self.record_count.to_le_bytes());
-        out.extend_from_slice(&self.sealed_payload);
-        out
+    /// A refcount bump: the envelope *is* its wire image.
+    pub fn to_wire_bytes(&self) -> Bytes {
+        self.wire.clone()
     }
 
-    /// Decodes the canonical wire encoding. Returns `None` if `data` is
-    /// shorter than [`SegmentEnvelope::WIRE_HEADER`]. The sealed payload is
-    /// *not* authenticated here — tampering is caught by the secure
-    /// session's MAC when the payload is opened.
-    pub fn from_wire_bytes(data: &[u8]) -> Option<SegmentEnvelope> {
-        if data.len() < Self::WIRE_HEADER {
-            return None;
-        }
-        Some(SegmentEnvelope {
-            device_id: u64::from_le_bytes(data[..8].try_into().ok()?),
-            segment_seq: u64::from_le_bytes(data[8..16].try_into().ok()?),
-            prev_chain_head: Digest::from_bytes(data[16..48].try_into().ok()?),
-            chain_head: Digest::from_bytes(data[48..80].try_into().ok()?),
-            record_count: u32::from_le_bytes(data[80..84].try_into().ok()?),
-            sealed_payload: data[84..].to_vec(),
-        })
+    /// Borrows the wire image.
+    pub fn wire(&self) -> &Bytes {
+        &self.wire
+    }
+}
+
+impl std::fmt::Debug for SegmentEnvelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentEnvelope")
+            .field("device_id", &self.device_id())
+            .field("segment_seq", &self.segment_seq())
+            .field("prev_chain_head", &self.prev_chain_head())
+            .field("chain_head", &self.chain_head())
+            .field("record_count", &self.record_count())
+            .field("sealed_len", &self.sealed_payload().len())
+            .finish()
     }
 }
 
@@ -421,32 +509,84 @@ mod tests {
 
     #[test]
     fn envelope_wire_round_trip() {
-        let envelope = SegmentEnvelope {
-            device_id: 7,
-            segment_seq: 42,
-            prev_chain_head: Digest::from_bytes([0xAA; 32]),
-            chain_head: Digest::from_bytes([0xBB; 32]),
-            record_count: 9,
-            sealed_payload: vec![1, 2, 3, 4, 5],
-        };
+        let envelope = SegmentEnvelope::new(
+            7,
+            42,
+            Digest::from_bytes([0xAA; 32]),
+            Digest::from_bytes([0xBB; 32]),
+            9,
+            &[1, 2, 3, 4, 5],
+        );
+        assert_eq!(envelope.device_id(), 7);
+        assert_eq!(envelope.segment_seq(), 42);
+        assert_eq!(envelope.prev_chain_head(), Digest::from_bytes([0xAA; 32]));
+        assert_eq!(envelope.chain_head(), Digest::from_bytes([0xBB; 32]));
+        assert_eq!(envelope.record_count(), 9);
+        assert_eq!(envelope.sealed_payload(), &[1, 2, 3, 4, 5]);
         let wire = envelope.to_wire_bytes();
         assert_eq!(wire.len(), envelope.wire_bytes());
-        assert_eq!(SegmentEnvelope::from_wire_bytes(&wire).unwrap(), envelope);
+        assert_eq!(SegmentEnvelope::from_wire_bytes(wire).unwrap(), envelope);
+    }
+
+    #[test]
+    fn envelope_clone_and_wire_share_the_image() {
+        let envelope = SegmentEnvelope::new(1, 2, Digest::ZERO, Digest::ZERO, 3, &[9; 100]);
+        let wire = envelope.to_wire_bytes();
+        assert_eq!(
+            wire.as_ref().as_ptr(),
+            envelope.wire().as_ref().as_ptr(),
+            "to_wire_bytes must be a refcount bump, not a copy"
+        );
+        let clone = envelope.clone();
+        assert_eq!(
+            clone.wire().as_ref().as_ptr(),
+            envelope.wire().as_ref().as_ptr(),
+            "clone must share the wire image"
+        );
+    }
+
+    #[test]
+    fn envelope_zero_copy_assembly_matches_new() {
+        let payload = [7u8; 33];
+        let built = SegmentEnvelope::new(
+            5,
+            6,
+            Digest::from_bytes([1; 32]),
+            Digest::from_bytes([2; 32]),
+            4,
+            &payload,
+        );
+        let mut wire = Vec::new();
+        SegmentEnvelope::write_wire_header(
+            &mut wire,
+            5,
+            6,
+            &Digest::from_bytes([1; 32]),
+            &Digest::from_bytes([2; 32]),
+            4,
+        );
+        assert_eq!(wire.len(), SegmentEnvelope::WIRE_HEADER);
+        wire.extend_from_slice(&payload);
+        let adopted = SegmentEnvelope::from_wire_image(wire).unwrap();
+        assert_eq!(adopted, built);
     }
 
     #[test]
     fn envelope_wire_rejects_short_input() {
-        assert!(SegmentEnvelope::from_wire_bytes(&[0; SegmentEnvelope::WIRE_HEADER - 1]).is_none());
-        let empty = SegmentEnvelope {
-            device_id: 0,
-            segment_seq: 0,
-            prev_chain_head: Digest::from_bytes([0; 32]),
-            chain_head: Digest::from_bytes([0; 32]),
-            record_count: 0,
-            sealed_payload: Vec::new(),
-        };
+        assert!(
+            SegmentEnvelope::from_wire_bytes(&[0u8; SegmentEnvelope::WIRE_HEADER - 1][..])
+                .is_none()
+        );
+        let empty = SegmentEnvelope::new(
+            0,
+            0,
+            Digest::from_bytes([0; 32]),
+            Digest::from_bytes([0; 32]),
+            0,
+            &[],
+        );
         // A header with no payload is the minimum valid envelope.
-        let decoded = SegmentEnvelope::from_wire_bytes(&empty.to_wire_bytes()).unwrap();
-        assert!(decoded.sealed_payload.is_empty());
+        let decoded = SegmentEnvelope::from_wire_bytes(empty.to_wire_bytes()).unwrap();
+        assert!(decoded.sealed_payload().is_empty());
     }
 }

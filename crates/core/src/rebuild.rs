@@ -76,7 +76,7 @@ pub(crate) fn walk_segments_tolerant<R: RemoteTarget>(
             Ok(segment) => segment,
             Err(e) => return (head, Some(format!("open segment {seq}: {e}"))),
         };
-        if envelope.prev_chain_head != head {
+        if envelope.prev_chain_head() != head {
             return (
                 head,
                 Some(format!("segment {seq} does not extend the chain")),
@@ -86,7 +86,7 @@ pub(crate) fn walk_segments_tolerant<R: RemoteTarget>(
         if let Err(e) = HashChain::verify_from(chain_key, head, &inputs, &segment.links) {
             return (head, Some(format!("segment {seq}: {e}")));
         }
-        head = envelope.chain_head;
+        head = envelope.chain_head();
         for record in segment.records {
             sink(seq, record);
         }
@@ -244,6 +244,7 @@ mod tests {
     use super::*;
     use crate::config::RssdConfig;
     use crate::device::RssdDevice;
+    use crate::logrec::SegmentEnvelope;
     use crate::remote_target::LoopbackTarget;
     use rssd_flash::{FlashGeometry, NandTiming, SimClock};
     use rssd_ssd::BlockDevice;
@@ -404,8 +405,19 @@ mod tests {
         let mut remote = d.into_remote();
         // Corrupt one stored payload byte.
         let seq = remote.stored_segments()[0];
-        let mut envelope = remote.fetch_segment(seq).unwrap();
-        envelope.sealed_payload[0] ^= 0xFF;
+        let clean = remote.fetch_segment(seq).unwrap();
+        // The envelope shares its wire image by refcount, so tampering
+        // means rebuilding it around a flipped payload copy.
+        let mut payload = clean.sealed_payload().to_vec();
+        payload[0] ^= 0xFF;
+        let envelope = SegmentEnvelope::new(
+            clean.device_id(),
+            clean.segment_seq(),
+            clean.prev_chain_head(),
+            clean.chain_head(),
+            clean.record_count(),
+            &payload,
+        );
         // Rebuild the store with the tampered envelope (LoopbackTarget has
         // no in-place mutation; store into a fresh one, chain check off by
         // replaying in order with matching heads).

@@ -110,7 +110,7 @@ impl LoopbackTarget {
     pub fn stored_bytes(&self) -> u64 {
         self.segments
             .values()
-            .map(|e| e.sealed_payload.len() as u64)
+            .map(|e| e.sealed_payload().len() as u64)
             .sum()
     }
 }
@@ -125,19 +125,19 @@ impl RemoteTarget for LoopbackTarget {
             return Err(RemoteError::Unreachable);
         }
         if let Some(expected) = self.last_head {
-            if envelope.prev_chain_head != expected {
+            if envelope.prev_chain_head() != expected {
                 return Err(RemoteError::ChainDiscontinuity {
                     expected,
-                    got: envelope.prev_chain_head,
+                    got: envelope.prev_chain_head(),
                 });
             }
         }
-        self.last_head = Some(envelope.chain_head);
+        self.last_head = Some(envelope.chain_head());
         let ack = StoreAck {
-            segment_seq: envelope.segment_seq,
+            segment_seq: envelope.segment_seq(),
             durable_at_ns: now_ns,
         };
-        self.segments.insert(envelope.segment_seq, envelope);
+        self.segments.insert(envelope.segment_seq(), envelope);
         Ok(ack)
     }
 
@@ -158,14 +158,7 @@ mod tests {
     use super::*;
 
     fn envelope(seq: u64, prev: Digest, head: Digest) -> SegmentEnvelope {
-        SegmentEnvelope {
-            device_id: 1,
-            segment_seq: seq,
-            prev_chain_head: prev,
-            chain_head: head,
-            record_count: 0,
-            sealed_payload: vec![seq as u8; 8],
-        }
+        SegmentEnvelope::new(1, seq, prev, head, 0, &[seq as u8; 8])
     }
 
     fn digest(b: u8) -> Digest {
@@ -178,7 +171,7 @@ mod tests {
         t.store_segment(envelope(0, Digest::ZERO, digest(1)), 100)
             .unwrap();
         let fetched = t.fetch_segment(0).unwrap();
-        assert_eq!(fetched.segment_seq, 0);
+        assert_eq!(fetched.segment_seq(), 0);
         assert_eq!(t.stored_segments(), vec![0]);
         assert_eq!(t.stored_bytes(), 8);
     }

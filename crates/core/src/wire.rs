@@ -145,7 +145,7 @@ impl<R: RemoteTarget> WireRemote<R> {
         self.ingest_drop = false;
         let mut replayed = 0u64;
         while let Some((envelope, now_ns)) = self.relay.pop_front() {
-            match self.transfer_and_store(envelope.clone(), now_ns) {
+            match self.transfer_and_store(&envelope, now_ns) {
                 Ok(_) => {
                     replayed += 1;
                     self.stats.relay_replayed += 1;
@@ -192,18 +192,27 @@ impl<R: RemoteTarget> WireRemote<R> {
 
     /// Carries `envelope` over the fabric and stores whatever the wire
     /// delivered into the inner target at the delivery time.
+    ///
+    /// Zero-copy end to end: the envelope *is* its wire image, so handing
+    /// the fabric `to_wire_bytes()` is a refcount bump (every transfer
+    /// attempt used to re-serialize a full clone of the envelope), and the
+    /// delivered bytes are adopted back into an envelope without copying.
     fn transfer_and_store(
         &mut self,
-        envelope: SegmentEnvelope,
+        envelope: &SegmentEnvelope,
         now_ns: u64,
     ) -> Result<StoreAck, RemoteError> {
-        let segment_seq = envelope.segment_seq;
-        let wire = envelope.to_wire_bytes();
+        let segment_seq = envelope.segment_seq();
         let (arrival_ns, delivered) = self
             .fabric
-            .try_transfer_segment(segment_seq, &wire, now_ns, self.max_stall_rounds)
+            .try_transfer_segment(
+                segment_seq,
+                envelope.to_wire_bytes(),
+                now_ns,
+                self.max_stall_rounds,
+            )
             .map_err(|_| RemoteError::Unreachable)?;
-        let delivered = SegmentEnvelope::from_wire_bytes(&delivered)
+        let delivered = SegmentEnvelope::from_wire_bytes(delivered)
             .expect("reliable fabric delivers the encoded envelope intact");
         if self.ingest_drop {
             // The transport acked; the collector lost the segment before
@@ -225,11 +234,12 @@ impl<R: RemoteTarget> RemoteTarget for WireRemote<R> {
         envelope: SegmentEnvelope,
         now_ns: u64,
     ) -> Result<StoreAck, RemoteError> {
-        let segment_seq = envelope.segment_seq;
-        match self.transfer_and_store(envelope.clone(), now_ns) {
+        let segment_seq = envelope.segment_seq();
+        match self.transfer_and_store(&envelope, now_ns) {
             Ok(ack) => Ok(ack),
             Err(RemoteError::Unreachable) if self.relay_enabled => {
-                // Edge relay: ack now, deliver after heal.
+                // Edge relay: ack now (by move — no clone), deliver after
+                // heal.
                 self.stats.relay_acked += 1;
                 self.relay.push_back((envelope, now_ns));
                 Ok(StoreAck {
@@ -251,7 +261,7 @@ impl<R: RemoteTarget> RemoteTarget for WireRemote<R> {
         if let Some((envelope, _)) = self
             .relay
             .iter()
-            .find(|(e, _)| e.segment_seq == segment_seq)
+            .find(|(e, _)| e.segment_seq() == segment_seq)
         {
             return Ok(envelope.clone());
         }
@@ -263,7 +273,7 @@ impl<R: RemoteTarget> RemoteTarget for WireRemote<R> {
 
     fn stored_segments(&self) -> Vec<u64> {
         let mut seqs = self.remote.stored_segments();
-        seqs.extend(self.relay.iter().map(|(e, _)| e.segment_seq));
+        seqs.extend(self.relay.iter().map(|(e, _)| e.segment_seq()));
         seqs.sort_unstable();
         seqs.dedup();
         seqs
@@ -286,14 +296,7 @@ mod tests {
     }
 
     fn envelope(seq: u64, prev: Digest, head: Digest) -> SegmentEnvelope {
-        SegmentEnvelope {
-            device_id: 1,
-            segment_seq: seq,
-            prev_chain_head: prev,
-            chain_head: head,
-            record_count: 3,
-            sealed_payload: vec![seq as u8; 2048],
-        }
+        SegmentEnvelope::new(1, seq, prev, head, 3, &[seq as u8; 2048])
     }
 
     fn chain(n: u64) -> Vec<SegmentEnvelope> {

@@ -1,8 +1,9 @@
 //! Property tests for the log wire formats and the offload round trip.
 
 use proptest::prelude::*;
-use rssd_core::{LogOp, LogRecord, Segment};
-use rssd_crypto::{ChainLink, Digest, HashChain};
+use rssd_core::{LogOp, LogRecord, Segment, SegmentEnvelope};
+use rssd_crypto::{ChainLink, DeviceKeys, Digest, HashChain};
+use rssd_net::SecureSession;
 
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     (
@@ -67,6 +68,59 @@ proptest! {
         let mut without = record;
         without.old_data = None;
         prop_assert_eq!(with.chain_bytes(), without.chain_bytes());
+    }
+
+    /// The zero-copy offload pipeline (header written first, payload
+    /// compressed into the same buffer, sealed in place, buffer adopted as
+    /// the envelope's wire image) must be byte-identical to the naive
+    /// compose path (serialize, compress, seal, copy into an envelope) —
+    /// same sealed bytes, same wire image, same decoded envelope, and the
+    /// same records back out.
+    #[test]
+    fn zero_copy_assembly_is_byte_identical_to_naive_compose(
+        records in proptest::collection::vec(arb_record(), 0..12),
+        seed in any::<u64>(),
+        segment_seq in any::<u64>(),
+        device_id in any::<u64>(),
+        prev_byte in any::<u8>(),
+        head_byte in any::<u8>(),
+    ) {
+        let keys = DeviceKeys::for_simulation(seed);
+        let session = SecureSession::new(&keys, 0);
+        let mut chain = HashChain::new(b"prop-key");
+        let links: Vec<ChainLink> =
+            records.iter().map(|r| chain.append(&r.chain_bytes())).collect();
+        let record_count = records.len() as u32;
+        let segment = Segment { segment_seq, records, links };
+        let raw = segment.to_bytes();
+        let prev = Digest::from_bytes([prev_byte; 32]);
+        let head = Digest::from_bytes([head_byte; 32]);
+
+        // Naive compose: each stage allocates and copies.
+        let compressed = rssd_compress::compress_adaptive(&raw);
+        let sealed = session.seal(segment_seq, &compressed);
+        let naive =
+            SegmentEnvelope::new(device_id, segment_seq, prev, head, record_count, &sealed);
+
+        // Zero-copy: one buffer from header to sealed payload.
+        let mut wire = Vec::new();
+        SegmentEnvelope::write_wire_header(
+            &mut wire, device_id, segment_seq, &prev, &head, record_count,
+        );
+        rssd_compress::compress_adaptive_into(&raw, &mut wire);
+        session.seal_in_place(segment_seq, &mut wire, SegmentEnvelope::WIRE_HEADER);
+        let zero_copy = SegmentEnvelope::from_wire_image(wire).unwrap();
+
+        prop_assert_eq!(zero_copy.sealed_payload(), naive.sealed_payload());
+        prop_assert_eq!(&zero_copy.to_wire_bytes(), &naive.to_wire_bytes());
+        prop_assert_eq!(&zero_copy, &naive);
+
+        // The sealed image opens back to the exact records that went in.
+        let opened = session
+            .open(segment_seq, zero_copy.sealed_payload())
+            .expect("self-sealed payload opens");
+        let decompressed = rssd_compress::decompress(&opened).expect("valid frame");
+        prop_assert_eq!(Segment::from_bytes(&decompressed).unwrap(), segment);
     }
 
     #[test]

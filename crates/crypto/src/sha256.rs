@@ -159,14 +159,14 @@ impl Sha256 {
             input = &input[take..];
             if self.buffer_len == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                self.compress_blocks(&block);
                 self.buffer_len = 0;
             }
         }
-        while input.len() >= 64 {
-            let block: [u8; 64] = input[..64].try_into().expect("64 bytes");
-            self.compress(&block);
-            input = &input[64..];
+        let whole = input.len() - input.len() % 64;
+        if whole > 0 {
+            self.compress_blocks(&input[..whole]);
+            input = &input[whole..];
         }
         if !input.is_empty() {
             self.buffer[..input.len()].copy_from_slice(input);
@@ -185,13 +185,33 @@ impl Sha256 {
         // Manual length append: bypass update's total_len accounting.
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buffer;
-        self.compress(&block);
+        self.compress_blocks(&block);
 
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
         }
         Digest(out)
+    }
+
+    /// Compresses a whole number of 64-byte blocks.
+    ///
+    /// Dispatches to the x86 SHA extensions when the CPU has them (the common
+    /// case for the machines this simulator profiles on) and to the portable
+    /// scalar rounds otherwise; both produce the same FIPS 180-4 digests.
+    fn compress_blocks(&mut self, blocks: &[u8]) {
+        debug_assert_eq!(blocks.len() % 64, 0);
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // SAFETY: `available` confirmed the sha/ssse3/sse4.1 features at
+            // runtime, and the length is a multiple of the block size.
+            unsafe { shani::compress_blocks(&mut self.state, blocks) };
+            return;
+        }
+        for block in blocks.chunks_exact(64) {
+            let block: &[u8; 64] = block.try_into().expect("64 bytes");
+            self.compress(block);
+        }
     }
 
     fn compress(&mut self, block: &[u8; 64]) {
@@ -209,25 +229,36 @@ impl Sha256 {
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
+        // One FIPS 180-4 round with the working variables passed in rotated
+        // roles: unrolling 8 at a time removes the per-round register shuffle
+        // (h=g; g=f; ...) without changing the arithmetic.
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident,
+             $e:ident, $f:ident, $g:ident, $h:ident, $i:expr) => {
+                let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                let ch = ($e & $f) ^ ((!$e) & $g);
+                let temp1 = $h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add(K[$i])
+                    .wrapping_add(w[$i]);
+                let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(temp1);
+                $h = temp1.wrapping_add(s0.wrapping_add(maj));
+            };
+        }
+        let mut i = 0;
+        while i < 64 {
+            round!(a, b, c, d, e, f, g, h, i);
+            round!(h, a, b, c, d, e, f, g, i + 1);
+            round!(g, h, a, b, c, d, e, f, i + 2);
+            round!(f, g, h, a, b, c, d, e, i + 3);
+            round!(e, f, g, h, a, b, c, d, i + 4);
+            round!(d, e, f, g, h, a, b, c, i + 5);
+            round!(c, d, e, f, g, h, a, b, i + 6);
+            round!(b, c, d, e, f, g, h, a, i + 7);
+            i += 8;
         }
 
         self.state[0] = self.state[0].wrapping_add(a);
@@ -238,6 +269,91 @@ impl Sha256 {
         self.state[5] = self.state[5].wrapping_add(f);
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// SHA-256 message schedule and rounds on the x86 SHA extensions.
+///
+/// The state is kept in the two-register ABEF/CDGH layout the `sha256rnds2`
+/// instruction expects; four 32-bit schedule words are produced per step with
+/// `sha256msg1`/`sha256msg2`. Identical output to the scalar rounds — the
+/// NIST vectors in this module's tests cover both paths on capable hosts.
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use super::K;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// Whether the CPU supports this path (the feature-detection macro caches
+    /// the CPUID lookup).
+    #[inline]
+    pub fn available() -> bool {
+        is_x86_feature_detected!("sha")
+            && is_x86_feature_detected!("ssse3")
+            && is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Compresses whole 64-byte blocks into `state`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must have checked [`available`], and `blocks.len()` must be
+    /// a multiple of 64.
+    #[target_feature(enable = "sha,sse2,ssse3,sse4.1")]
+    pub unsafe fn compress_blocks(state: &mut [u32; 8], blocks: &[u8]) {
+        // Byte shuffle turning each 32-bit lane big-endian.
+        let be_mask = _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+
+        // Repack [a,b,c,d],[e,f,g,h] into the ABEF/CDGH register layout.
+        let tmp = _mm_loadu_si128(state.as_ptr().cast());
+        let hi = _mm_loadu_si128(state.as_ptr().add(4).cast());
+        let tmp = _mm_shuffle_epi32(tmp, 0xB1);
+        let hi = _mm_shuffle_epi32(hi, 0x1B);
+        let mut abef = _mm_alignr_epi8(tmp, hi, 8);
+        let mut cdgh = _mm_blend_epi16(hi, tmp, 0xF0);
+
+        for block in blocks.chunks_exact(64) {
+            let abef_save = abef;
+            let cdgh_save = cdgh;
+
+            // m holds the schedule chunks X_g..X_{g+3} (four words each),
+            // rotating in place as the rounds consume them.
+            let mut m = [
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().cast()), be_mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(16).cast()), be_mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(32).cast()), be_mask),
+                _mm_shuffle_epi8(_mm_loadu_si128(block.as_ptr().add(48).cast()), be_mask),
+            ];
+
+            for g in 0..16 {
+                let wk = _mm_add_epi32(m[g & 3], _mm_loadu_si128(K.as_ptr().add(g * 4).cast()));
+                cdgh = _mm_sha256rnds2_epu32(cdgh, abef, wk);
+                let wk_hi = _mm_shuffle_epi32(wk, 0x0E);
+                abef = _mm_sha256rnds2_epu32(abef, cdgh, wk_hi);
+                if g < 12 {
+                    // Next schedule chunk, per the FIPS 180-4 recurrence:
+                    // X_{g+4} = msg2(msg1(X_g, X_{g+1}) + (W[4g+9..4g+13]), X_{g+3})
+                    let x0 = m[g & 3];
+                    let x1 = m[(g + 1) & 3];
+                    let x2 = m[(g + 2) & 3];
+                    let x3 = m[(g + 3) & 3];
+                    let partial =
+                        _mm_add_epi32(_mm_sha256msg1_epu32(x0, x1), _mm_alignr_epi8(x3, x2, 4));
+                    m[g & 3] = _mm_sha256msg2_epu32(partial, x3);
+                }
+            }
+
+            abef = _mm_add_epi32(abef, abef_save);
+            cdgh = _mm_add_epi32(cdgh, cdgh_save);
+        }
+
+        // Unpack ABEF/CDGH back to [a..d],[e..h].
+        let tmp = _mm_shuffle_epi32(abef, 0x1B);
+        let hi = _mm_shuffle_epi32(cdgh, 0xB1);
+        let out_lo = _mm_blend_epi16(tmp, hi, 0xF0);
+        let out_hi = _mm_alignr_epi8(hi, tmp, 8);
+        _mm_storeu_si128(state.as_mut_ptr().cast(), out_lo);
+        _mm_storeu_si128(state.as_mut_ptr().add(4).cast(), out_hi);
     }
 }
 
@@ -329,5 +445,23 @@ hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
     fn distinct_inputs_distinct_digests() {
         assert_ne!(Sha256::digest(b"a"), Sha256::digest(b"b"));
         assert_ne!(Sha256::digest(b""), Digest::ZERO);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn shani_matches_scalar_rounds() {
+        if !shani::available() {
+            return;
+        }
+        let blocks: Vec<u8> = (0..640u32).map(|i| (i as u8).wrapping_mul(37)).collect();
+        let mut scalar = Sha256::new();
+        for block in blocks.chunks_exact(64) {
+            let block: &[u8; 64] = block.try_into().expect("64 bytes");
+            scalar.compress(block);
+        }
+        let mut state = H0;
+        // SAFETY: availability checked above; length is 10 whole blocks.
+        unsafe { shani::compress_blocks(&mut state, &blocks) };
+        assert_eq!(state, scalar.state);
     }
 }

@@ -107,6 +107,7 @@ impl<R: RemoteTarget> FaultyRemote<R> {
         let mut replayed = 0u64;
         while !self.queued.is_empty() {
             let (envelope, now_ns) = self.queued.remove(0);
+            // Envelope clones are refcount bumps on the shared wire image.
             match self.inner.store_segment(envelope.clone(), now_ns) {
                 Ok(_) => {
                     replayed += 1;
@@ -156,7 +157,7 @@ impl<R: RemoteTarget> RemoteTarget for FaultyRemote<R> {
             }
             Some(PartitionMode::QueueForReplay) => {
                 let ack = StoreAck {
-                    segment_seq: envelope.segment_seq,
+                    segment_seq: envelope.segment_seq(),
                     durable_at_ns: now_ns,
                 };
                 self.stats.offloads_queued += 1;
@@ -166,7 +167,7 @@ impl<R: RemoteTarget> RemoteTarget for FaultyRemote<R> {
             Some(PartitionMode::DropSilently) => {
                 self.stats.offloads_dropped += 1;
                 Ok(StoreAck {
-                    segment_seq: envelope.segment_seq,
+                    segment_seq: envelope.segment_seq(),
                     durable_at_ns: now_ns,
                 })
             }
@@ -180,14 +181,14 @@ impl<R: RemoteTarget> RemoteTarget for FaultyRemote<R> {
             return self
                 .queued
                 .iter()
-                .find(|(e, _)| e.segment_seq == segment_seq)
+                .find(|(e, _)| e.segment_seq() == segment_seq)
                 .map(|(e, _)| e.clone())
                 .ok_or(RemoteError::Unreachable);
         }
         if let Some((e, _)) = self
             .queued
             .iter()
-            .find(|(e, _)| e.segment_seq == segment_seq)
+            .find(|(e, _)| e.segment_seq() == segment_seq)
         {
             return Ok(e.clone());
         }
@@ -198,7 +199,7 @@ impl<R: RemoteTarget> RemoteTarget for FaultyRemote<R> {
         // The device's view of what it has been acked for: the store's
         // contents plus the replay buffer.
         let mut seqs = self.inner.stored_segments();
-        seqs.extend(self.queued.iter().map(|(e, _)| e.segment_seq));
+        seqs.extend(self.queued.iter().map(|(e, _)| e.segment_seq()));
         seqs.sort_unstable();
         seqs.dedup();
         seqs
@@ -244,10 +245,10 @@ impl RemoteTarget for PermissiveTarget {
             return Err(RemoteError::Unreachable);
         }
         let ack = StoreAck {
-            segment_seq: envelope.segment_seq,
+            segment_seq: envelope.segment_seq(),
             durable_at_ns: now_ns,
         };
-        self.segments.insert(envelope.segment_seq, envelope);
+        self.segments.insert(envelope.segment_seq(), envelope);
         Ok(ack)
     }
 
@@ -270,18 +271,19 @@ mod tests {
     use rssd_crypto::Digest;
 
     fn envelope(seq: u64, prev: u8, head: u8) -> SegmentEnvelope {
-        SegmentEnvelope {
-            device_id: 1,
-            segment_seq: seq,
-            prev_chain_head: if prev == 0 {
-                Digest::ZERO
-            } else {
-                Digest::from_bytes([prev; 32])
-            },
-            chain_head: Digest::from_bytes([head; 32]),
-            record_count: 0,
-            sealed_payload: vec![seq as u8; 4],
-        }
+        let prev = if prev == 0 {
+            Digest::ZERO
+        } else {
+            Digest::from_bytes([prev; 32])
+        };
+        SegmentEnvelope::new(
+            1,
+            seq,
+            prev,
+            Digest::from_bytes([head; 32]),
+            0,
+            &[seq as u8; 4],
+        )
     }
 
     #[test]
@@ -289,7 +291,7 @@ mod tests {
         let mut r = FaultyRemote::new(LoopbackTarget::new());
         r.store_segment(envelope(0, 0, 1), 10).unwrap();
         assert_eq!(r.stored_segments(), vec![0]);
-        assert_eq!(r.fetch_segment(0).unwrap().segment_seq, 0);
+        assert_eq!(r.fetch_segment(0).unwrap().segment_seq(), 0);
     }
 
     #[test]
@@ -312,7 +314,7 @@ mod tests {
         r.store_segment(envelope(2, 2, 3), 6).unwrap();
         // Acked → visible in the device's index; fetchable from the buffer.
         assert_eq!(r.stored_segments(), vec![0, 1, 2]);
-        assert_eq!(r.fetch_segment(2).unwrap().segment_seq, 2);
+        assert_eq!(r.fetch_segment(2).unwrap().segment_seq(), 2);
         // The store itself has not seen them.
         assert_eq!(r.inner().stored_segments(), vec![0]);
         // Old segments are across the dead link.

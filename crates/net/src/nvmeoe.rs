@@ -8,18 +8,19 @@
 //! an infinite retry loop:
 //!
 //! ```
+//! use bytes::Bytes;
 //! use rssd_net::{LinkConfig, NvmeOeEndpoint};
 //!
 //! let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-//! let payload = vec![7u8; 20_000];
-//! let (done_ns, delivered) = fabric.transfer_segment(1, &payload, 0);
+//! let payload = Bytes::from(vec![7u8; 20_000]);
+//! let (done_ns, delivered) = fabric.transfer_segment(1, payload.clone(), 0);
 //! assert_eq!(delivered, payload);
 //! // 1.25 GB/s line rate: 20 kB cannot arrive faster than 16 us.
 //! assert!(done_ns >= 16_000);
 //!
 //! fabric.set_link_down(true);
 //! let err = fabric
-//!     .try_transfer_segment(2, &payload, done_ns, 4)
+//!     .try_transfer_segment(2, payload, done_ns, 4)
 //!     .unwrap_err();
 //! assert_eq!(err.stall_rounds, 4);
 //! ```
@@ -72,7 +73,9 @@ impl CapsuleKind {
     }
 }
 
-/// One protocol capsule.
+/// One protocol capsule. The payload is a [`Bytes`] view — on the send side
+/// a zero-copy slice of the segment's shared wire image, on the receive side
+/// a zero-copy slice of the delivered frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Capsule {
     /// Capsule type.
@@ -82,10 +85,10 @@ pub struct Capsule {
     /// The log segment this capsule belongs to.
     pub segment_seq: u64,
     /// Fragment payload.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
-/// Capsule parse errors.
+/// Capsule parse/encode errors.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ProtocolError {
     /// Missing or wrong magic/version.
@@ -94,6 +97,11 @@ pub enum ProtocolError {
     Truncated,
     /// Unknown capsule kind id.
     UnknownKind(u8),
+    /// Encode-side: the payload exceeds [`CAPSULE_PAYLOAD`] and cannot ride
+    /// one Ethernet frame. (The header's length field is a `u32`; before
+    /// this error existed an oversized payload had its length silently
+    /// truncated instead of being rejected.)
+    PayloadTooLarge(usize),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -102,6 +110,12 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::BadMagic => write!(f, "bad capsule magic"),
             ProtocolError::Truncated => write!(f, "truncated capsule"),
             ProtocolError::UnknownKind(k) => write!(f, "unknown capsule kind {k}"),
+            ProtocolError::PayloadTooLarge(len) => {
+                write!(
+                    f,
+                    "capsule payload of {len} bytes exceeds the {CAPSULE_PAYLOAD}-byte fragment limit"
+                )
+            }
         }
     }
 }
@@ -137,8 +151,18 @@ impl std::fmt::Display for TransferStalled {
 impl std::error::Error for TransferStalled {}
 
 impl Capsule {
-    /// Serializes the capsule.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes the capsule into one frame-payload buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::PayloadTooLarge`] if the payload exceeds
+    /// [`CAPSULE_PAYLOAD`] — an oversized length used to be silently
+    /// truncated into the header's `u32` length field; now it is rejected
+    /// before any bytes hit the wire.
+    pub fn to_wire(&self) -> Result<Bytes, ProtocolError> {
+        if self.payload.len() > CAPSULE_PAYLOAD {
+            return Err(ProtocolError::PayloadTooLarge(self.payload.len()));
+        }
         let mut out = Vec::with_capacity(HEADER + self.payload.len());
         out.extend_from_slice(&MAGIC);
         out.push(self.kind.id());
@@ -146,15 +170,16 @@ impl Capsule {
         out.extend_from_slice(&self.segment_seq.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.payload);
-        out
+        Ok(Bytes::from(out))
     }
 
-    /// Parses a capsule.
+    /// Parses a capsule from a delivered frame payload. The capsule's
+    /// payload is a zero-copy slice of `data`.
     ///
     /// # Errors
     ///
     /// Returns [`ProtocolError`] on malformed input.
-    pub fn from_bytes(data: &[u8]) -> Result<Self, ProtocolError> {
+    pub fn from_wire(data: &Bytes) -> Result<Self, ProtocolError> {
         if data.len() < HEADER {
             return Err(ProtocolError::Truncated);
         }
@@ -172,7 +197,7 @@ impl Capsule {
             kind,
             seq,
             segment_seq,
-            payload: data[HEADER..HEADER + len].to_vec(),
+            payload: data.slice(HEADER..HEADER + len),
         })
     }
 }
@@ -301,14 +326,20 @@ impl NvmeOeEndpoint {
     pub fn transfer_segment(
         &mut self,
         segment_seq: u64,
-        payload: &[u8],
+        payload: Bytes,
         now_ns: u64,
-    ) -> (u64, Vec<u8>) {
+    ) -> (u64, Bytes) {
         self.try_transfer_segment(segment_seq, payload, now_ns, u32::MAX)
             .expect("unlimited stall budget never gives up")
     }
 
     /// [`NvmeOeEndpoint::transfer_segment`] with a bounded stall budget.
+    ///
+    /// Fragments carry zero-copy slices of the shared `payload`, each under
+    /// a stable capsule sequence number; every fragment's frame is built
+    /// exactly once and cached for the transfer's lifetime, so go-back-N
+    /// retransmission resends the identical wire bytes by refcount bump —
+    /// no per-round re-serialization.
     ///
     /// A retransmission round makes *progress* when it delivers at least
     /// one new fragment or the completing cumulative ack. After
@@ -322,16 +353,35 @@ impl NvmeOeEndpoint {
     pub fn try_transfer_segment(
         &mut self,
         segment_seq: u64,
-        payload: &[u8],
+        payload: Bytes,
         now_ns: u64,
         max_stall_rounds: u32,
-    ) -> Result<(u64, Vec<u8>), TransferStalled> {
-        let fragments: Vec<&[u8]> = if payload.is_empty() {
-            vec![&[][..]]
+    ) -> Result<(u64, Bytes), TransferStalled> {
+        let fragment_count = if payload.is_empty() {
+            1
         } else {
-            payload.chunks(CAPSULE_PAYLOAD).collect()
+            payload.len().div_ceil(CAPSULE_PAYLOAD)
         };
-        let mut received: Vec<Option<Vec<u8>>> = vec![None; fragments.len()];
+        // Build every fragment's frame once, under a stable capsule seq.
+        let frames: Vec<EthernetFrame> = (0..fragment_count)
+            .map(|i| {
+                let start = i * CAPSULE_PAYLOAD;
+                let end = (start + CAPSULE_PAYLOAD).min(payload.len());
+                let capsule = Capsule {
+                    kind: CapsuleKind::SegmentWrite,
+                    seq: self.next_seq + i as u64,
+                    segment_seq,
+                    payload: payload.slice(start..end),
+                };
+                EthernetFrame::nvme_oe(
+                    MacAddr::REMOTE,
+                    MacAddr::DEVICE,
+                    capsule.to_wire().expect("fragment fits one capsule"),
+                )
+            })
+            .collect();
+        self.next_seq += fragment_count as u64;
+        let mut received: Vec<Option<Bytes>> = vec![None; fragment_count];
         let mut t = now_ns;
         let mut round = 0u32;
         let mut stall_rounds = 0u32;
@@ -340,17 +390,10 @@ impl NvmeOeEndpoint {
             // One round: pipeline every missing fragment.
             let mut last_arrival = t;
             let mut progressed = false;
-            for (i, frag) in fragments.iter().enumerate() {
+            for (i, cached) in frames.iter().enumerate() {
                 if received[i].is_some() {
                     continue;
                 }
-                let capsule = Capsule {
-                    kind: CapsuleKind::SegmentWrite,
-                    seq: self.next_seq,
-                    segment_seq,
-                    payload: frag.to_vec(),
-                };
-                self.next_seq += 1;
                 self.stats.capsules_sent += 1;
                 if round > 0 {
                     self.stats.retransmissions += 1;
@@ -367,19 +410,14 @@ impl NvmeOeEndpoint {
                         );
                     }
                 }
-                let frame = EthernetFrame::nvme_oe(
-                    MacAddr::REMOTE,
-                    MacAddr::DEVICE,
-                    Bytes::from(capsule.to_bytes()),
-                );
                 self.device_nic
-                    .enqueue_tx(frame)
+                    .enqueue_tx(cached.clone())
                     .expect("tx ring sized for batch");
                 let frame = self.device_nic.dequeue_tx().expect("just queued");
                 if let Some(arrival) = self.to_remote.transmit(&frame, t) {
                     self.remote_nic.deliver_rx(frame).expect("rx ring sized");
                     let frame = self.remote_nic.dequeue_rx().expect("just delivered");
-                    let capsule = Capsule::from_bytes(&frame.payload).expect("well-formed capsule");
+                    let capsule = Capsule::from_wire(&frame.payload).expect("well-formed capsule");
                     debug_assert_eq!(capsule.kind, CapsuleKind::SegmentWrite);
                     received[i] = Some(capsule.payload);
                     last_arrival = last_arrival.max(arrival);
@@ -403,12 +441,12 @@ impl NvmeOeEndpoint {
                 kind: CapsuleKind::Ack,
                 seq: self.next_seq,
                 segment_seq,
-                payload: Vec::new(),
+                payload: Bytes::new(),
             };
             let ack_frame = EthernetFrame::nvme_oe(
                 MacAddr::DEVICE,
                 MacAddr::REMOTE,
-                Bytes::from(ack.to_bytes()),
+                ack.to_wire().expect("empty ack always encodes"),
             );
             let ack_arrival = self.to_device.transmit(&ack_frame, last_arrival);
             if ack_arrival.is_none() && self.sink.is_enabled() {
@@ -448,13 +486,18 @@ impl NvmeOeEndpoint {
 
         self.stats.segments += 1;
         self.stats.payload_bytes += payload.len() as u64;
-        let data = received.into_iter().map(|f| f.expect("complete")).fold(
-            Vec::with_capacity(payload.len()),
-            |mut acc, f| {
-                acc.extend_from_slice(&f);
-                acc
-            },
-        );
+        // Reassembly: a single-fragment segment hands back the delivered
+        // frame's payload slice untouched; multi-fragment segments pay the
+        // receive path's one copy, gluing the slices contiguous.
+        let data = if received.len() == 1 {
+            received.pop().flatten().expect("complete")
+        } else {
+            let mut acc = Vec::with_capacity(payload.len());
+            for frag in received {
+                acc.extend_from_slice(&frag.expect("complete"));
+            }
+            Bytes::from(acc)
+        };
         Ok((t, data))
     }
 }
@@ -469,9 +512,51 @@ mod tests {
             kind: CapsuleKind::SegmentWrite,
             seq: 42,
             segment_seq: 7,
-            payload: vec![1, 2, 3],
+            payload: Bytes::from(vec![1, 2, 3]),
         };
-        assert_eq!(Capsule::from_bytes(&c.to_bytes()).unwrap(), c);
+        assert_eq!(Capsule::from_wire(&c.to_wire().unwrap()).unwrap(), c);
+    }
+
+    #[test]
+    fn capsule_payload_is_sliced_not_copied() {
+        let c = Capsule {
+            kind: CapsuleKind::SegmentWrite,
+            seq: 1,
+            segment_seq: 2,
+            payload: Bytes::from(vec![9u8; 256]),
+        };
+        let wire = c.to_wire().unwrap();
+        let parsed = Capsule::from_wire(&wire).unwrap();
+        assert_eq!(
+            parsed.payload.as_ref().as_ptr(),
+            wire[HEADER..].as_ptr(),
+            "parsed payload must view the wire buffer in place"
+        );
+    }
+
+    #[test]
+    fn oversized_payload_rejected_not_truncated() {
+        // Regression: the length field is a u32 and used to be written with
+        // a silent `as u32` cast; any payload over the fragment limit must
+        // now fail loudly at encode time.
+        let too_big = Capsule {
+            kind: CapsuleKind::SegmentWrite,
+            seq: 0,
+            segment_seq: 0,
+            payload: Bytes::from(vec![0u8; CAPSULE_PAYLOAD + 1]),
+        };
+        assert_eq!(
+            too_big.to_wire(),
+            Err(ProtocolError::PayloadTooLarge(CAPSULE_PAYLOAD + 1))
+        );
+        let max = Capsule {
+            kind: CapsuleKind::SegmentWrite,
+            seq: 0,
+            segment_seq: 0,
+            payload: Bytes::from(vec![0u8; CAPSULE_PAYLOAD]),
+        };
+        let wire = max.to_wire().unwrap();
+        assert_eq!(Capsule::from_wire(&wire).unwrap(), max);
     }
 
     #[test]
@@ -480,44 +565,59 @@ mod tests {
             kind: CapsuleKind::Ack,
             seq: 0,
             segment_seq: 0,
-            payload: vec![],
+            payload: Bytes::new(),
         }
-        .to_bytes();
+        .to_wire()
+        .unwrap()
+        .to_vec();
         bytes[0] = b'X';
-        assert_eq!(Capsule::from_bytes(&bytes), Err(ProtocolError::BadMagic));
+        assert_eq!(
+            Capsule::from_wire(&Bytes::from(bytes)),
+            Err(ProtocolError::BadMagic)
+        );
     }
 
     #[test]
     fn capsule_rejects_truncation_and_unknown_kind() {
-        assert_eq!(Capsule::from_bytes(&[0; 4]), Err(ProtocolError::Truncated));
+        assert_eq!(
+            Capsule::from_wire(&Bytes::from(vec![0u8; 4])),
+            Err(ProtocolError::Truncated)
+        );
         let mut bytes = Capsule {
             kind: CapsuleKind::Ack,
             seq: 0,
             segment_seq: 0,
-            payload: vec![],
+            payload: Bytes::new(),
         }
-        .to_bytes();
+        .to_wire()
+        .unwrap()
+        .to_vec();
         bytes[4] = 99;
         assert_eq!(
-            Capsule::from_bytes(&bytes),
+            Capsule::from_wire(&Bytes::from(bytes)),
             Err(ProtocolError::UnknownKind(99))
         );
         let mut lying = Capsule {
             kind: CapsuleKind::Ack,
             seq: 0,
             segment_seq: 0,
-            payload: vec![1, 2, 3],
+            payload: Bytes::from(vec![1, 2, 3]),
         }
-        .to_bytes();
+        .to_wire()
+        .unwrap()
+        .to_vec();
         lying.truncate(lying.len() - 1);
-        assert_eq!(Capsule::from_bytes(&lying), Err(ProtocolError::Truncated));
+        assert_eq!(
+            Capsule::from_wire(&Bytes::from(lying)),
+            Err(ProtocolError::Truncated)
+        );
     }
 
     #[test]
     fn lossless_transfer_delivers_payload() {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-        let payload: Vec<u8> = (0..50_000u32).map(|i| i as u8).collect();
-        let (done, delivered) = fabric.transfer_segment(1, &payload, 0);
+        let payload = Bytes::from((0..50_000u32).map(|i| i as u8).collect::<Vec<u8>>());
+        let (done, delivered) = fabric.transfer_segment(1, payload.clone(), 0);
         assert_eq!(delivered, payload);
         assert!(done > 0);
         assert_eq!(fabric.stats().segments, 1);
@@ -528,7 +628,7 @@ mod tests {
     #[test]
     fn empty_segment_transfers() {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-        let (_, delivered) = fabric.transfer_segment(1, &[], 0);
+        let (_, delivered) = fabric.transfer_segment(1, Bytes::new(), 0);
         assert!(delivered.is_empty());
         assert_eq!(fabric.stats().segments, 1);
     }
@@ -536,8 +636,8 @@ mod tests {
     #[test]
     fn lossy_link_retransmits_until_complete() {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::lossy(3));
-        let payload: Vec<u8> = (0..100_000u32).map(|i| (i * 7) as u8).collect();
-        let (done, delivered) = fabric.transfer_segment(1, &payload, 0);
+        let payload = Bytes::from((0..100_000u32).map(|i| (i * 7) as u8).collect::<Vec<u8>>());
+        let (done, delivered) = fabric.transfer_segment(1, payload.clone(), 0);
         assert_eq!(delivered, payload, "payload must survive 33% loss");
         assert!(fabric.stats().retransmissions > 0);
         assert!(done > 0);
@@ -545,20 +645,21 @@ mod tests {
 
     #[test]
     fn wan_is_slower_than_datacenter() {
-        let payload = vec![0u8; 200_000];
+        let payload = Bytes::from(vec![0u8; 200_000]);
         let mut dc = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
         let mut wan = NvmeOeEndpoint::new(LinkConfig::wan_cloud());
-        let (t_dc, _) = dc.transfer_segment(1, &payload, 0);
-        let (t_wan, _) = wan.transfer_segment(1, &payload, 0);
+        let (t_dc, _) = dc.transfer_segment(1, payload.clone(), 0);
+        let (t_wan, _) = wan.transfer_segment(1, payload, 0);
         assert!(t_wan > t_dc * 5, "wan {t_wan} vs dc {t_dc}");
     }
 
     #[test]
     fn throughput_close_to_line_rate_on_large_segments() {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-        let payload = vec![0u8; 10_000_000];
-        let (done, _) = fabric.transfer_segment(1, &payload, 0);
-        let gbps = payload.len() as f64 / done as f64; // bytes per ns = GB/s
+        let payload = Bytes::from(vec![0u8; 10_000_000]);
+        let len = payload.len();
+        let (done, _) = fabric.transfer_segment(1, payload, 0);
+        let gbps = len as f64 / done as f64; // bytes per ns = GB/s
         assert!(gbps > 1.0, "goodput {gbps} GB/s on a 1.25 GB/s link");
     }
 
@@ -568,7 +669,7 @@ mod tests {
         fabric.set_link_down(true);
         assert!(fabric.is_link_down());
         let err = fabric
-            .try_transfer_segment(1, &[1, 2, 3], 0, 3)
+            .try_transfer_segment(1, Bytes::from(vec![1, 2, 3]), 0, 3)
             .unwrap_err();
         assert_eq!(err.stall_rounds, 3);
         // Each stalled round waits out one RTO on the simulated clock.
@@ -581,12 +682,12 @@ mod tests {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
         fabric.set_link_down(true);
         let gave_up = fabric
-            .try_transfer_segment(1, &[9; 100], 0, 2)
+            .try_transfer_segment(1, Bytes::from(vec![9u8; 100]), 0, 2)
             .unwrap_err()
             .gave_up_at_ns;
         fabric.set_link_down(false);
         let (done, delivered) = fabric
-            .try_transfer_segment(1, &[9; 100], gave_up, 2)
+            .try_transfer_segment(1, Bytes::from(vec![9u8; 100]), gave_up, 2)
             .unwrap();
         assert_eq!(delivered, vec![9; 100]);
         assert!(done > gave_up);
@@ -598,11 +699,11 @@ mod tests {
         let uplink = SharedLink::new(LinkConfig::datacenter_10g());
         let mut a = NvmeOeEndpoint::with_uplink(uplink.clone(), LinkConfig::datacenter_10g());
         let mut b = NvmeOeEndpoint::with_uplink(uplink.clone(), LinkConfig::datacenter_10g());
-        let payload = vec![0u8; 100_000];
+        let payload = Bytes::from(vec![0u8; 100_000]);
         let mut solo = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-        let (t_solo, _) = solo.transfer_segment(1, &payload, 0);
-        let (t_a, _) = a.transfer_segment(1, &payload, 0);
-        let (t_b, _) = b.transfer_segment(1, &payload, 0);
+        let (t_solo, _) = solo.transfer_segment(1, payload.clone(), 0);
+        let (t_a, _) = a.transfer_segment(1, payload.clone(), 0);
+        let (t_b, _) = b.transfer_segment(1, payload, 0);
         assert_eq!(t_a, t_solo, "first sender owns the idle wire");
         // The second sender queues behind the first for at least the pure
         // serialization time of the payload (100 kB at 1.25 GB/s = 80 us).
@@ -619,9 +720,9 @@ mod tests {
     #[test]
     fn sequence_numbers_advance_across_segments() {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
-        fabric.transfer_segment(1, &[1, 2, 3], 0);
+        fabric.transfer_segment(1, Bytes::from(vec![1, 2, 3]), 0);
         let sent_after_first = fabric.stats().capsules_sent;
-        fabric.transfer_segment(2, &[4, 5, 6], 0);
+        fabric.transfer_segment(2, Bytes::from(vec![4, 5, 6]), 0);
         assert!(fabric.stats().capsules_sent > sent_after_first);
         assert_eq!(fabric.stats().segments, 2);
     }

@@ -82,15 +82,34 @@ impl SecureSession {
 
     /// Encrypts `plaintext` under the per-segment nonce for `segment_seq`
     /// and appends an HMAC tag over `(segment_seq || ciphertext)`.
+    ///
+    /// The sealed image is built in a single allocation sized
+    /// `plaintext.len() + TAG_LEN` and ciphered in place — no intermediate
+    /// ciphertext buffer, no tag-append reallocation.
     pub fn seal(&self, segment_seq: u64, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.seal_in_place(segment_seq, &mut out, 0);
+        out
+    }
+
+    /// Seals `buf[from..]` in place: the plaintext tail is ciphered where it
+    /// sits and the authentication tag is appended to `buf`. This is the
+    /// zero-copy spelling of [`seal`](Self::seal) — callers that already
+    /// assembled `[header | plaintext]` in one buffer seal the payload
+    /// without ever materialising a separate ciphertext allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > buf.len()`.
+    pub fn seal_in_place(&self, segment_seq: u64, buf: &mut Vec<u8>, from: usize) {
         let nonce = self.keys.segment_nonce(self.enc_id, segment_seq);
-        let mut out = plaintext.to_vec();
-        ChaCha20::new(&self.enc_key, &nonce).apply_keystream(&mut out);
+        buf.reserve(TAG_LEN);
+        ChaCha20::new(&self.enc_key, &nonce).apply_keystream(&mut buf[from..]);
         let mut mac = HmacSha256::new(&self.mac_key);
         mac.update(&segment_seq.to_le_bytes());
-        mac.update(&out);
-        out.extend_from_slice(mac.finalize().as_bytes());
-        out
+        mac.update(&buf[from..]);
+        buf.extend_from_slice(mac.finalize().as_bytes());
     }
 
     /// Verifies and decrypts a sealed message.
@@ -117,7 +136,8 @@ impl SecureSession {
             return Err(SessionError::BadTag);
         }
         let nonce = self.keys.segment_nonce(self.enc_id, segment_seq);
-        let mut out = ciphertext.to_vec();
+        let mut out = Vec::with_capacity(ciphertext.len());
+        out.extend_from_slice(ciphertext);
         ChaCha20::new(&self.enc_key, &nonce).apply_keystream(&mut out);
         Ok(out)
     }
@@ -198,6 +218,17 @@ mod tests {
         let s = session();
         let sealed = s.seal(9, b"");
         assert_eq!(s.open(9, &sealed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn seal_in_place_matches_seal_and_preserves_prefix() {
+        let s = session();
+        let mut buf = b"HEADERBYTES".to_vec();
+        buf.extend_from_slice(b"retained pages");
+        s.seal_in_place(7, &mut buf, 11);
+        assert_eq!(&buf[..11], b"HEADERBYTES", "prefix untouched");
+        assert_eq!(&buf[11..], &s.seal(7, b"retained pages")[..]);
+        assert_eq!(s.open(7, &buf[11..]).unwrap(), b"retained pages");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! (never panic on arbitrary bytes), round trips are exact, and reliable
 //! transfer survives every deterministic loss pattern.
 
+use bytes::Bytes;
 use proptest::prelude::*;
 use rssd_crypto::DeviceKeys;
 use rssd_net::{
@@ -21,15 +22,15 @@ proptest! {
             CapsuleKind::ReadResponse,
             CapsuleKind::Ack,
         ] {
-            let c = Capsule { kind, seq, segment_seq, payload: payload.clone() };
-            prop_assert_eq!(Capsule::from_bytes(&c.to_bytes()).unwrap(), c);
+            let c = Capsule { kind, seq, segment_seq, payload: Bytes::from(payload.clone()) };
+            prop_assert_eq!(Capsule::from_wire(&c.to_wire().unwrap()).unwrap(), c);
         }
     }
 
     #[test]
     fn capsule_decoder_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         // Must never panic, whatever the input.
-        let _ = Capsule::from_bytes(&bytes);
+        let _ = Capsule::from_wire(&Bytes::from(bytes));
     }
 
     #[test]
@@ -72,8 +73,8 @@ proptest! {
         len in 1usize..200_000,
     ) {
         let mut fabric = NvmeOeEndpoint::new(LinkConfig::lossy(loss_period));
-        let payload: Vec<u8> = (0..len).map(|i| (i * 131) as u8).collect();
-        let (done, delivered) = fabric.transfer_segment(1, &payload, 0);
+        let payload = Bytes::from((0..len).map(|i| (i * 131) as u8).collect::<Vec<u8>>());
+        let (done, delivered) = fabric.transfer_segment(1, payload.clone(), 0);
         prop_assert_eq!(delivered, payload);
         prop_assert!(done > 0);
     }

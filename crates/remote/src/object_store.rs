@@ -1,5 +1,6 @@
 //! An S3-like object store with a simple latency model.
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -49,10 +50,13 @@ pub struct ObjectStoreStats {
 }
 
 /// A bucketed key→blob store. Single-bucket helpers cover the common case.
+/// Blobs are refcounted [`Bytes`]: a PUT of an already-shared buffer (the
+/// offload wire image) stores a reference, and GETs hand back views, so
+/// segments are never deep-copied on the storage path.
 #[derive(Clone, Debug, Default)]
 pub struct ObjectStore {
     config: ObjectStoreConfig,
-    objects: BTreeMap<String, Vec<u8>>,
+    objects: BTreeMap<String, Bytes>,
     stats: ObjectStoreStats,
 }
 
@@ -72,7 +76,8 @@ impl ObjectStore {
     }
 
     /// Stores `data` under `key`, returning the simulated completion time.
-    pub fn put(&mut self, key: &str, data: Vec<u8>, now_ns: u64) -> u64 {
+    pub fn put(&mut self, key: &str, data: impl Into<Bytes>, now_ns: u64) -> u64 {
+        let data = data.into();
         self.stats.puts += 1;
         let cost = self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;
         if let Some(old) = self.objects.insert(key.to_string(), data) {
@@ -83,7 +88,8 @@ impl ObjectStore {
     }
 
     /// Fetches the object at `key`, with its simulated completion time.
-    pub fn get(&mut self, key: &str, now_ns: u64) -> Option<(Vec<u8>, u64)> {
+    /// The returned blob is a refcounted view, not a copy.
+    pub fn get(&mut self, key: &str, now_ns: u64) -> Option<(Bytes, u64)> {
         self.stats.gets += 1;
         let data = self.objects.get(key)?.clone();
         let cost = self.config.request_latency_ns + self.config.per_byte_ns * data.len() as u64;

@@ -122,7 +122,7 @@ impl RemoteLogServer {
     fn analyze_segment(&mut self, envelope: &SegmentEnvelope) {
         let Ok(compressed) = self
             .session
-            .open(envelope.segment_seq, &envelope.sealed_payload)
+            .open(envelope.segment_seq(), envelope.sealed_payload())
         else {
             return;
         };
@@ -155,37 +155,38 @@ impl RemoteTarget for RemoteLogServer {
             return Err(RemoteError::Unreachable);
         }
         if let Some(expected) = self.last_head {
-            if envelope.prev_chain_head != expected {
+            if envelope.prev_chain_head() != expected {
                 self.report.segments_rejected += 1;
                 return Err(RemoteError::ChainDiscontinuity {
                     expected,
-                    got: envelope.prev_chain_head,
+                    got: envelope.prev_chain_head(),
                 });
             }
         }
         // Transfer over the fabric (unless the wire was modeled upstream),
-        // then persist.
+        // then persist. The envelope, the fabric payload, and the stored
+        // object all share one refcounted wire image.
         let wire = envelope.to_wire_bytes();
         let (arrival_ns, wire) = if self.external_fabric {
             (now_ns, wire)
         } else {
             let (arrival_ns, delivered) =
                 self.fabric
-                    .transfer_segment(envelope.segment_seq, &wire, now_ns);
+                    .transfer_segment(envelope.segment_seq(), wire.clone(), now_ns);
             debug_assert_eq!(delivered, wire, "fabric must deliver intact");
             (arrival_ns, delivered)
         };
         let durable_at_ns =
             self.store
-                .put(&Self::segment_key(envelope.segment_seq), wire, arrival_ns);
+                .put(&Self::segment_key(envelope.segment_seq()), wire, arrival_ns);
 
-        self.last_head = Some(envelope.chain_head);
-        self.segment_index.push(envelope.segment_seq);
+        self.last_head = Some(envelope.chain_head());
+        self.segment_index.push(envelope.segment_seq());
         self.report.segments_stored += 1;
         self.report.ingest_time_ns += durable_at_ns.saturating_sub(now_ns);
         self.analyze_segment(&envelope);
         Ok(StoreAck {
-            segment_seq: envelope.segment_seq,
+            segment_seq: envelope.segment_seq(),
             durable_at_ns,
         })
     }
@@ -198,7 +199,7 @@ impl RemoteTarget for RemoteLogServer {
             .store
             .get(&Self::segment_key(segment_seq), 0)
             .ok_or(RemoteError::NoSuchSegment(segment_seq))?;
-        SegmentEnvelope::from_wire_bytes(&bytes).ok_or(RemoteError::NoSuchSegment(segment_seq))
+        SegmentEnvelope::from_wire_bytes(bytes).ok_or(RemoteError::NoSuchSegment(segment_seq))
     }
 
     fn stored_segments(&self) -> Vec<u64> {
@@ -327,13 +328,8 @@ mod tests {
     #[test]
     fn chain_discontinuity_rejected() {
         let mut server = RemoteLogServer::datacenter(&keys());
-        let env = |seq: u64, prev: Digest, head: Digest| SegmentEnvelope {
-            device_id: 1,
-            segment_seq: seq,
-            prev_chain_head: prev,
-            chain_head: head,
-            record_count: 0,
-            sealed_payload: vec![0; 40],
+        let env = |seq: u64, prev: Digest, head: Digest| {
+            SegmentEnvelope::new(1, seq, prev, head, 0, &[0; 40])
         };
         let d1 = Digest::from_bytes([1; 32]);
         server.store_segment(env(0, Digest::ZERO, d1), 0).unwrap();
@@ -347,14 +343,14 @@ mod tests {
     #[test]
     fn fetch_round_trips_envelope() {
         let mut server = RemoteLogServer::datacenter(&keys());
-        let envelope = SegmentEnvelope {
-            device_id: 7,
-            segment_seq: 3,
-            prev_chain_head: Digest::ZERO,
-            chain_head: Digest::from_bytes([2; 32]),
-            record_count: 5,
-            sealed_payload: vec![9; 100],
-        };
+        let envelope = SegmentEnvelope::new(
+            7,
+            3,
+            Digest::ZERO,
+            Digest::from_bytes([2; 32]),
+            5,
+            &[9; 100],
+        );
         server.store_segment(envelope.clone(), 0).unwrap();
         assert_eq!(server.fetch_segment(3).unwrap(), envelope);
         assert_eq!(server.stored_segments(), vec![3]);
@@ -368,14 +364,7 @@ mod tests {
     fn partition_returns_unreachable() {
         let mut server = RemoteLogServer::datacenter(&keys());
         server.set_reachable(false);
-        let envelope = SegmentEnvelope {
-            device_id: 1,
-            segment_seq: 0,
-            prev_chain_head: Digest::ZERO,
-            chain_head: Digest::ZERO,
-            record_count: 0,
-            sealed_payload: vec![],
-        };
+        let envelope = SegmentEnvelope::new(1, 0, Digest::ZERO, Digest::ZERO, 0, &[]);
         assert_eq!(
             server.store_segment(envelope, 0),
             Err(RemoteError::Unreachable)

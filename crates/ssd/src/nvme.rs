@@ -650,32 +650,54 @@ impl<D: BlockDevice> NvmeController<D> {
         // Post completions in completion-time order (out of order relative
         // to submission when the device pipelines overlap commands); ties —
         // including every command on a serial device — stay in submission
-        // order, so FIFO semantics degrade gracefully.
+        // order via the batch-index tie-break, so FIFO semantics degrade
+        // gracefully. The metadata, results, and posting order live in one
+        // slab sorted in place: no separate index vector to chase and no
+        // `Vec<Option<..>>` take() pass over the results.
+        struct Posting {
+            completed_at_ns: u64,
+            batch_index: u32,
+            queue_index: u32,
+            id: CommandId,
+            submitted_at_ns: u64,
+            result: CommandResult,
+        }
         self.profiler.enter("completion_sort");
-        let mut order: Vec<usize> = (0..executed).collect();
-        order.sort_by_key(|&i| timed[i].1);
+        let mut postings: Vec<Posting> = timed
+            .into_iter()
+            .zip(meta)
+            .enumerate()
+            .map(
+                |(i, ((result, completed_at_ns), (qi, id, submitted_at_ns)))| Posting {
+                    completed_at_ns,
+                    batch_index: i as u32,
+                    queue_index: qi as u32,
+                    id,
+                    submitted_at_ns,
+                    result,
+                },
+            )
+            .collect();
+        postings.sort_unstable_by_key(|p| (p.completed_at_ns, p.batch_index));
         self.profiler.exit();
         self.profiler.enter("stats");
-        let mut timed: Vec<Option<(CommandResult, u64)>> = timed.into_iter().map(Some).collect();
-        for i in order {
-            let (result, completed_at_ns) = timed[i].take().expect("each slot posted once");
-            let (qi, id, submitted_at_ns) = meta[i];
-            let pair = &mut self.queues[qi];
+        for p in postings {
+            let pair = &mut self.queues[p.queue_index as usize];
             pair.stats.completed += 1;
-            if result.is_err() {
+            if p.result.is_err() {
                 pair.stats.errors += 1;
             }
             pair.stats
                 .latency
-                .record(completed_at_ns.saturating_sub(submitted_at_ns));
-            pair.in_flight.remove(&id.0);
+                .record(p.completed_at_ns.saturating_sub(p.submitted_at_ns));
+            pair.in_flight.remove(&p.id.0);
             pair.cq
                 .ring
                 .push(Completion {
-                    id,
-                    result,
-                    submitted_at_ns,
-                    completed_at_ns,
+                    id: p.id,
+                    result: p.result,
+                    submitted_at_ns: p.submitted_at_ns,
+                    completed_at_ns: p.completed_at_ns,
                 })
                 .unwrap_or_else(|_| unreachable!("completion slot reserved at fetch"));
         }

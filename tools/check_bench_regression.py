@@ -8,8 +8,11 @@ fails the build unless the device-internal parallelism holds:
   geometry (the PR acceptance gate),
 * throughput rises monotonically with queue depth per model,
 * the rssd rows are not identical to the plain rows (RSSD's overhead is
-  real), and
-* p50 < p99 in at least one row (the log-linear histogram satellite).
+  real),
+* p50 < p99 in at least one row (the log-linear histogram satellite), and
+* the rssd QD32 replay clears a host wall-clock throughput floor — the
+  zero-copy offload wire path is a tracked perf surface; re-introducing
+  the per-hop serialization copies would land ~3x below the floor.
 
 Also sanity-checks BENCH_array_scaling.json's 1 -> 4 shard monotonicity,
 BENCH_offload_wire.json's link physics (datacenter out-runs WAN, lossy
@@ -72,17 +75,33 @@ def check_profile_section(name: str, doc: dict, required: tuple) -> list[str]:
     return failures
 
 
+# Ceiling on the wire phase's share of the QD32 replay. The zero-copy
+# offload path (one serialize+seal into one refcounted buffer shared
+# through fragmentation, retransmission, and the store) holds wire at
+# ~16%; the old copy-per-hop path sat at 78%. Compression is profiled as
+# its own phase and deliberately not counted against this ceiling.
+WIRE_PCT_CEILING = 25.0
+
+
 def check_profile() -> list[str]:
     doc = load_doc("BENCH_profile.json")
     failures = check_profile_section(
         "BENCH_profile.json", doc,
-        ("arbitration", "nand_timing", "completion_sort", "stats", "wire"))
+        ("arbitration", "nand_timing", "completion_sort", "stats", "wire",
+         "compress"))
     # The rows mirror the profile section one phase per row.
     rows = {row["config"]: row for row in doc["rows"]}
     pct_sum = sum(row["pct"] for row in rows.values())
     if abs(pct_sum - 100.0) > 0.1:
         failures.append(
             f"BENCH_profile.json: row pcts sum to {pct_sum:.3f}%")
+    phases = {p["phase"]: p for p in doc.get("profile", {}).get("phases", [])}
+    wire_pct = phases.get("wire", {}).get("pct")
+    if wire_pct is not None and wire_pct > WIRE_PCT_CEILING:
+        failures.append(
+            f"BENCH_profile.json: wire phase at {wire_pct:.1f}% of the QD32 "
+            f"replay > {WIRE_PCT_CEILING:.0f}% ceiling - the offload path "
+            "is copying again")
     return failures
 
 
@@ -119,6 +138,19 @@ def check_qd_sweep() -> list[str]:
     if not any(row.get("p50_us", 0) < row.get("p99_us", 0) for row in rows.values()):
         failures.append("p50 == p99 in every row - the latency histogram has "
                         "collapsed back to octave resolution")
+    # Host wall-clock floor on the rssd QD32 replay. The zero-copy wire
+    # path lands ~68k ops/host-s on the CI container; the pre-fix
+    # serialization-tax path ran ~3x slower (~22k), so 40k separates the
+    # two with noise headroom on both sides.
+    floor = 40_000.0
+    host_tput = rows.get("rssd_qd32", {}).get("ops_per_host_sec")
+    if host_tput is None:
+        failures.append("rssd_qd32: ops_per_host_sec missing from "
+                        "BENCH_qd_sweep.json")
+    elif host_tput < floor:
+        failures.append(
+            f"rssd_qd32: host throughput {host_tput:.0f} ops/host-s < "
+            f"{floor:.0f} floor - the offload wire path has slowed down")
     return failures
 
 
@@ -245,9 +277,10 @@ def main() -> None:
         sys.exit(1)
     print("bench regression gate: OK "
           "(QD scaling >= 2x, monotonic, rssd != plain, p50 < p99, "
-          "wire physics hold, recovery survives every link, "
-          "fleet deterministic across workers, sim-throughput floor holds, "
-          "host profiles partition their spans)")
+          "QD32 host-throughput floor holds, wire physics hold, "
+          "recovery survives every link, fleet deterministic across "
+          "workers, sim-throughput floor holds, host profiles partition "
+          "their spans, wire phase under its ceiling)")
 
 
 if __name__ == "__main__":

@@ -1,38 +1,69 @@
-//! `Bytes` subset of the `bytes` crate (offline stub; see
-//! `vendor/README.md`): an immutable, cheaply clonable byte buffer.
+//! `Bytes`/`BytesMut` subset of the `bytes` crate (offline stub; see
+//! `vendor/README.md`): immutable, cheaply clonable byte buffers with
+//! zero-copy slicing.
 //!
-//! Backed by `Arc<[u8]>`, so `clone` is a reference-count bump and all
-//! slice methods come through `Deref<Target = [u8]>`.
+//! A [`Bytes`] is a view `(offset, len)` into an `Arc<Vec<u8>>`, so
+//! `clone` is a reference-count bump and [`Bytes::slice`] produces a new
+//! view over the same allocation without copying. [`BytesMut`] is the
+//! build-side companion: fill a `Vec<u8>`, then [`BytesMut::freeze`] it
+//! into a shared `Bytes` for free.
 
 use std::fmt;
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// An immutable, reference-counted byte buffer view.
+#[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from([]),
-        }
+        Bytes::default()
     }
 
-    /// Creates `Bytes` from a static slice.
+    /// Creates `Bytes` from a static slice (copies; the stub has no
+    /// borrowed-static representation).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::copy_from_slice(bytes)
     }
 
     /// Creates `Bytes` by copying `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Returns a new `Bytes` viewing the subrange `range` of this buffer.
+    /// Shares the allocation — no bytes are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of len {}",
+            self.len
+        );
         Bytes {
-            data: Arc::from(data),
+            data: Arc::clone(&self.data),
+            off: self.off + start,
+            len: end - start,
         }
     }
 }
@@ -41,19 +72,25 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: takes ownership of the allocation.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
     }
 }
 
@@ -75,6 +112,34 @@ impl FromIterator<u8> for Bytes {
     }
 }
 
+// Equality/ordering/hashing are over the viewed bytes, not the backing
+// allocation, so two views with equal contents compare equal.
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self[..].cmp(&other[..])
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
         self[..] == *other
@@ -89,6 +154,141 @@ impl PartialEq<Vec<u8>> for Bytes {
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Debug::fmt(&self.data, f)
+        fmt::Debug::fmt(&self[..], f)
+    }
+}
+
+/// A unique, growable byte buffer that freezes into a shared [`Bytes`].
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty `BytesMut`.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty `BytesMut` with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends `src` to the buffer.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = Vec<u8>;
+
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(buf: Vec<u8>) -> Self {
+        BytesMut { buf }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a.as_ref().as_ptr(), b.as_ref().as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_viewed() {
+        let a = Bytes::from((0u8..32).collect::<Vec<u8>>());
+        let mid = a.slice(8..24);
+        assert_eq!(mid.len(), 16);
+        assert_eq!(mid[0], 8);
+        assert_eq!(mid.as_ref().as_ptr(), unsafe { a.as_ref().as_ptr().add(8) });
+        let tail = mid.slice(8..);
+        assert_eq!(tail[0], 16);
+        assert_eq!(tail.len(), 8);
+        let all = a.slice(..);
+        assert_eq!(all, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from(vec![0u8; 4]);
+        let _ = a.slice(2..8);
+    }
+
+    #[test]
+    fn equality_is_by_view_not_allocation() {
+        let a = Bytes::from(vec![9u8, 1, 2, 3, 9]).slice(1..4);
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(a, b);
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn from_vec_is_zero_copy() {
+        let v = vec![7u8; 128];
+        let p = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ref().as_ptr(), p);
+    }
+
+    #[test]
+    fn bytes_mut_builds_and_freezes_in_place() {
+        let mut m = BytesMut::with_capacity(64);
+        m.extend_from_slice(b"hello ");
+        m.extend_from_slice(b"world");
+        m.push(b'!');
+        let p = m.as_ref().as_ptr();
+        let b = m.freeze();
+        assert_eq!(&b[..], b"hello world!");
+        assert_eq!(b.as_ref().as_ptr(), p);
+    }
+
+    #[test]
+    fn compat_surface_still_works() {
+        let b: Bytes = [1u8, 2, 3].iter().copied().collect();
+        assert_eq!(b, vec![1u8, 2, 3]);
+        assert_eq!(b, *[1u8, 2, 3].as_slice());
+        assert_eq!(Bytes::from_static(b"abc"), Bytes::from("abc"));
+        assert!(Bytes::new().is_empty());
+        assert_eq!(format!("{:?}", Bytes::from(vec![1u8])), "[1]");
     }
 }
