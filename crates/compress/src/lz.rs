@@ -2,9 +2,9 @@
 //!
 //! Payload format: a stream of *sequences*, each a token byte whose high
 //! nibble is the literal-run length and low nibble the match length minus
-//! [`MIN_MATCH`] (nibble 15 extends with continuation bytes — 255 adds
+//! `MIN_MATCH` (nibble 15 extends with continuation bytes — 255 adds
 //! another byte — exactly once for matches, whose lengths are capped at
-//! [`MAX_MATCH`]). The token is followed by the literal bytes, then a 16-bit
+//! `MAX_MATCH`). The token is followed by the literal bytes, then a 16-bit
 //! little-endian back-distance (`1..=WINDOW`) and the optional match-length
 //! extension. A payload may end after a sequence's literals, in which case
 //! that final sequence carries no match.

@@ -18,6 +18,11 @@ pub struct RssdConfig {
     /// Log host reads into the evidence chain (metadata only). Costs log
     /// volume, buys read-before-overwrite evidence for forensics.
     pub log_reads: bool,
+    /// NAND blocks reserved as a durable evidence-spill region: sealed
+    /// segments stage here while the remote is unreachable, so evidence
+    /// survives a power cut mid-outage. Zero (the default) disables the
+    /// region — staged segments then live in controller RAM only.
+    pub spill_blocks: u32,
 }
 
 impl Default for RssdConfig {
@@ -28,6 +33,7 @@ impl Default for RssdConfig {
             segment_pages: 64,
             pinned_fraction_watermark: 0.25,
             log_reads: true,
+            spill_blocks: 0,
         }
     }
 }

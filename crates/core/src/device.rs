@@ -13,6 +13,59 @@ use rssd_ssd::{BlockDevice, CommandOutcome, CommandResult, DeviceError, IoComman
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Offload-path health: a hysteresis state machine over backlog depth
+/// (RAM-staged segments, spill-region occupancy) and consecutive ship
+/// failures. The device degrades along this slope instead of falling off a
+/// cliff when the remote disappears: `Healthy` ships inline, `Buffering`
+/// stages sealed segments locally, `Throttled` charges writes a
+/// backlog-proportional latency penalty, and only `Stalled` refuses writes
+/// outright — after one last drain attempt.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum OffloadHealth {
+    /// No backlog, no recent failures: segments ship as they seal.
+    #[default]
+    Healthy,
+    /// Sealed segments are staged locally (remote slow or unreachable), but
+    /// backlog pressure is low; host I/O is unaffected.
+    Buffering,
+    /// Backlog pressure is high (or failures persistent): writes pay a
+    /// backlog-proportional simulated latency penalty — admission control.
+    Throttled,
+    /// Backlog is essentially full: writes are refused with
+    /// [`DeviceError::Stalled`] after a final drain attempt.
+    Stalled,
+}
+
+impl OffloadHealth {
+    /// Stable lowercase label (trace events, metrics, bench rows).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OffloadHealth::Healthy => "healthy",
+            OffloadHealth::Buffering => "buffering",
+            OffloadHealth::Throttled => "throttled",
+            OffloadHealth::Stalled => "stalled",
+        }
+    }
+
+    /// Numeric severity (0 = healthy … 3 = stalled), for metrics gauges.
+    pub fn severity(self) -> u8 {
+        match self {
+            OffloadHealth::Healthy => 0,
+            OffloadHealth::Buffering => 1,
+            OffloadHealth::Throttled => 2,
+            OffloadHealth::Stalled => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for OffloadHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Offload-path counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[must_use]
@@ -33,6 +86,26 @@ pub struct OffloadStats {
     /// Host writes that had to wait for a synchronous offload because the
     /// device was full of pinned data (backpressure, not data loss).
     pub sync_offloads: u64,
+    /// Segments sealed (compress + encrypt + MAC). Each segment is sealed
+    /// exactly once, however many ship attempts it takes: the gap between
+    /// this and `segments_offloaded` is the staged backlog, and this never
+    /// increases on a retry.
+    pub segments_sealed: u64,
+    /// Sealed segments persisted to the NAND spill region while the remote
+    /// was unreachable (evidence made locally durable mid-outage).
+    pub segments_spilled: u64,
+    /// Spilled segments replayed from NAND by crash recovery.
+    pub spill_replayed: u64,
+    /// Writes admitted under `Throttled` (each paid a latency penalty).
+    pub throttled_writes: u64,
+    /// Total simulated latency charged to throttled writes.
+    pub throttle_penalty_ns: u64,
+    /// Current offload health state (fleet merge keeps the most degraded).
+    pub health: OffloadHealth,
+    /// Worst health state the device has ever been in — latches across
+    /// heals, so a post-outage snapshot still shows how far the device
+    /// degraded (fleet merge keeps the most degraded).
+    pub health_peak: OffloadHealth,
 }
 
 impl OffloadStats {
@@ -54,6 +127,13 @@ impl OffloadStats {
         self.sealed_bytes += other.sealed_bytes;
         self.offload_failures += other.offload_failures;
         self.sync_offloads += other.sync_offloads;
+        self.segments_sealed += other.segments_sealed;
+        self.segments_spilled += other.segments_spilled;
+        self.spill_replayed += other.spill_replayed;
+        self.throttled_writes += other.throttled_writes;
+        self.throttle_penalty_ns += other.throttle_penalty_ns;
+        self.health = self.health.max(other.health);
+        self.health_peak = self.health_peak.max(other.health_peak);
     }
 }
 
@@ -62,6 +142,24 @@ struct RemoteVersion {
     segment_seq: u64,
     invalidated_at_ns: u64,
     record_seq: u64,
+}
+
+/// A sealed segment awaiting remote acknowledgement. The envelope *is* the
+/// wire image (refcounted `Bytes`), built exactly once at seal time and
+/// reused verbatim by every ship retry, the NAND spill, and crash replay.
+#[derive(Clone, Debug)]
+struct StagedSegment {
+    envelope: SegmentEnvelope,
+    /// The segment's records with `old_data` stripped (the pre-images live
+    /// inside the sealed envelope; these drive chain verification and the
+    /// recovery index).
+    records: Vec<LogRecord>,
+    links: Vec<ChainLink>,
+    retained_pages: u64,
+    raw_bytes: u64,
+    /// Persisted to the NAND spill region: the evidence survives a power
+    /// cut, and the retained pre-image pins have been released.
+    spilled: bool,
 }
 
 /// What a power cut destroyed. The flash contents (every acknowledged host
@@ -158,6 +256,21 @@ pub struct RssdDevice<R: RemoteTarget> {
     /// Records not yet offloaded, in chain order.
     pending: Vec<LogRecord>,
     pending_links: Vec<ChainLink>,
+    /// Sealed segments awaiting remote acknowledgement, FIFO in chain
+    /// order. Spilled segments always form a prefix of this queue, so a
+    /// power cut truncates the staged history cleanly at the last spilled
+    /// segment — never a hole in the middle of the chain.
+    staged: std::collections::VecDeque<StagedSegment>,
+    /// Offload health-state machine (see [`OffloadHealth`]).
+    health: OffloadHealth,
+    /// Ship failures since the last acknowledged segment.
+    consecutive_failures: u32,
+    /// Background ship attempts are deferred until this simulated time
+    /// (capped exponential backoff). Forced attempts (flush, sync
+    /// backpressure, stalled-write drains) always go through.
+    next_retry_at_ns: u64,
+    /// Current backoff step, doubled per failure up to the cap.
+    retry_backoff_ns: u64,
     /// Chain head before the first pending record.
     prev_segment_head: Digest,
     /// Pending records whose old page is pinned locally.
@@ -184,6 +297,29 @@ impl<R: RemoteTarget> RssdDevice<R> {
     /// Read-before-overwrite correlation window recorded in log metadata.
     pub const READ_WINDOW_NS: u64 = 600 * 1_000_000_000;
 
+    /// Soft cap on RAM-staged sealed segments; the backlog-pressure
+    /// denominator when no spill region is configured.
+    pub const RAM_STAGE_SOFT_CAP: usize = 32;
+    /// Initial background-retry backoff after a ship failure (10 ms).
+    pub const RETRY_BACKOFF_BASE_NS: u64 = 10_000_000;
+    /// Backoff ceiling across a sustained outage (5 s).
+    pub const RETRY_BACKOFF_CAP_NS: u64 = 5_000_000_000;
+    /// Simulated latency a `Throttled` write pays per staged segment —
+    /// admission control's slope (40 µs per backlogged segment). Tuned so
+    /// a mid-outage device still delivers ≥ 25 % of healthy throughput
+    /// (the degradation bench gates this) while the slope stays steep
+    /// enough that hosts feel the backlog long before the Stalled cliff.
+    pub const THROTTLE_PENALTY_PER_STAGED_NS: u64 = 40_000;
+    /// Backlog pressure at which `Throttled` engages / releases.
+    const THROTTLE_ENTER: f64 = 0.50;
+    const THROTTLE_EXIT: f64 = 0.35;
+    /// Backlog pressure at which `Stalled` engages / releases.
+    const STALL_ENTER: f64 = 0.92;
+    const STALL_EXIT: f64 = 0.70;
+    /// Consecutive ship failures that force `Throttled` regardless of
+    /// backlog depth (a persistently failing wire deserves the slope too).
+    const THROTTLE_FAILURE_STREAK: u32 = 16;
+
     /// Builds an RSSD over fresh NAND.
     ///
     /// # Panics
@@ -198,7 +334,13 @@ impl<R: RemoteTarget> RssdDevice<R> {
     ) -> Self {
         config.validate().expect("invalid RssdConfig");
         let nand = NandArray::with_clock(geometry, timing, clock);
-        let ftl = Ftl::new(nand, FtlConfig::default());
+        let ftl = Ftl::new(
+            nand,
+            FtlConfig {
+                spill_blocks: config.spill_blocks,
+                ..FtlConfig::default()
+            },
+        );
         let keys = DeviceKeys::for_simulation(config.key_seed);
         let chain_key = keys.derive(KeyPurpose::EvidenceChain, 0);
         let session = SecureSession::new(&keys, 0);
@@ -210,6 +352,11 @@ impl<R: RemoteTarget> RssdDevice<R> {
             remote,
             pending: Vec::new(),
             pending_links: Vec::new(),
+            staged: std::collections::VecDeque::new(),
+            health: OffloadHealth::Healthy,
+            consecutive_failures: 0,
+            next_retry_at_ns: 0,
+            retry_backoff_ns: Self::RETRY_BACKOFF_BASE_NS,
             prev_segment_head: Digest::ZERO,
             pending_retained: 0,
             next_segment_seq: 0,
@@ -260,19 +407,36 @@ impl<R: RemoteTarget> RssdDevice<R> {
     pub fn crash(&mut self) -> CrashReport {
         let geometry = self.ftl.geometry();
         let mut preimages = 0u64;
+        let mut lost_records = self.pending.len() as u64;
         for rec in &self.pending {
             if let Some(idx) = rec.old_page_index {
                 self.ftl.unpin_page(geometry.page_from_index(idx));
                 preimages += 1;
             }
         }
+        // Staged segments: a spilled one is durable on NAND (its wire image
+        // replays at recovery — nothing lost); a RAM-only one dies with its
+        // pins exactly like the pending tail.
+        for seg in &self.staged {
+            if seg.spilled {
+                continue;
+            }
+            lost_records += seg.records.len() as u64;
+            for rec in &seg.records {
+                if let Some(idx) = rec.old_page_index {
+                    self.ftl.unpin_page(geometry.page_from_index(idx));
+                    preimages += 1;
+                }
+            }
+        }
         let report = CrashReport {
-            pending_records_lost: self.pending.len() as u64,
+            pending_records_lost: lost_records,
             pending_preimages_lost: preimages,
             chain_len_at_crash: self.chain.len(),
         };
         self.pending.clear();
         self.pending_links.clear();
+        self.staged.clear();
         self.pending_retained = 0;
         self.recent_reads.clear();
         self.remote_index.clear();
@@ -351,22 +515,176 @@ impl<R: RemoteTarget> RssdDevice<R> {
             },
         )?;
         let segments = self.remote.stored_segments();
+
+        // Replay the NAND spill region: sealed segments that were staged
+        // mid-outage survived the power cut on real flash. Entries already
+        // acknowledged remotely are skipped; the rest are re-staged in
+        // order, each verified to extend the recovered chain head, so the
+        // backlog drains exactly as if the cut never happened.
+        let mut head = head;
+        let mut records_total = records;
+        let mut versions_total = versions;
+        let last_remote_seq = segments.last().copied();
+        let mut staged = std::collections::VecDeque::new();
+        let spill_entries = self
+            .ftl
+            .spill_scan()
+            .map_err(|e| format!("spill region unreadable: {e}"))?;
+        for bytes in spill_entries {
+            let Some(envelope) = SegmentEnvelope::from_wire_image(bytes) else {
+                break;
+            };
+            if last_remote_seq.is_some_and(|s| envelope.segment_seq() <= s) {
+                continue; // acked before the cut; the remote copy is canonical
+            }
+            if envelope.prev_chain_head() != head {
+                break; // does not extend the recovered chain: unusable tail
+            }
+            let Ok(segment) = open_envelope(&self.session, &envelope) else {
+                break;
+            };
+            let raw_bytes = segment.to_bytes().len() as u64;
+            let Segment {
+                mut records, links, ..
+            } = segment;
+            let mut retained = 0u64;
+            for rec in &mut records {
+                if rec.old_page_index.is_some() {
+                    retained += 1;
+                    versions_total += 1;
+                }
+                rec.old_data = None;
+            }
+            records_total += records.len() as u64;
+            head = envelope.chain_head();
+            self.stats.spill_replayed += 1;
+            staged.push_back(StagedSegment {
+                envelope,
+                records,
+                links,
+                retained_pages: retained,
+                raw_bytes,
+                spilled: true,
+            });
+        }
+
+        let next_segment_seq = staged
+            .back()
+            .map(|s: &StagedSegment| s.envelope.segment_seq() + 1)
+            .or(last_remote_seq.map(|s| s + 1))
+            .unwrap_or(0);
+        let segments_walked = segments.len() as u64 + staged.len() as u64;
+        self.staged = staged;
         self.remote_index = index;
         self.prev_segment_head = head;
-        self.chain = HashChain::resume(&chain_key, head, records);
-        self.next_segment_seq = segments.last().map_or(0, |s| s + 1);
+        self.chain = HashChain::resume(&chain_key, head, records_total);
+        self.next_segment_seq = next_segment_seq;
         self.crashed = false;
+        self.consecutive_failures = 0;
+        self.retry_backoff_ns = Self::RETRY_BACKOFF_BASE_NS;
+        self.next_retry_at_ns = 0;
+        self.update_health();
         Ok(CrashRecovery {
-            segments_walked: segments.len() as u64,
-            records_indexed: records,
-            versions_indexed: versions,
-            resumed_seq: records,
+            segments_walked,
+            records_indexed: records_total,
+            versions_indexed: versions_total,
+            resumed_seq: records_total,
         })
     }
 
     /// Offload-path counters.
     pub fn offload_stats(&self) -> OffloadStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.health = self.health;
+        stats
+    }
+
+    /// Current offload health state.
+    pub fn offload_health(&self) -> OffloadHealth {
+        self.health
+    }
+
+    /// Sealed segments staged locally awaiting remote acknowledgement.
+    pub fn staged_segments(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Bytes of the NAND spill region currently holding staged evidence.
+    pub fn spill_used_bytes(&self) -> u64 {
+        self.ftl.spill_used_bytes()
+    }
+
+    /// Capacity of the NAND spill region (zero when not configured).
+    pub fn spill_capacity_bytes(&self) -> u64 {
+        self.ftl.spill_capacity_bytes()
+    }
+
+    /// Backlog pressure in `[0, 1+]`: spill-region occupancy when a spill
+    /// region exists, RAM-staged depth against the soft cap otherwise
+    /// (whichever is higher — a full spill with a RAM tail is still full).
+    pub fn backlog_pressure(&self) -> f64 {
+        let ram = self.staged.iter().filter(|s| !s.spilled).count() as f64
+            / Self::RAM_STAGE_SOFT_CAP as f64;
+        let capacity = self.ftl.spill_capacity_bytes();
+        let spill = if capacity == 0 {
+            0.0
+        } else {
+            self.ftl.spill_used_bytes() as f64 / capacity as f64
+        };
+        ram.max(spill)
+    }
+
+    /// Recomputes the health state from backlog pressure and the failure
+    /// streak, with hysteresis on the downward transitions, and emits a
+    /// trace instant when the state changes.
+    fn update_health(&mut self) {
+        let pressure = self.backlog_pressure();
+        let streak = self.consecutive_failures;
+        let raw = if pressure >= Self::STALL_ENTER {
+            OffloadHealth::Stalled
+        } else if pressure >= Self::THROTTLE_ENTER || streak >= Self::THROTTLE_FAILURE_STREAK {
+            OffloadHealth::Throttled
+        } else if !self.staged.is_empty() || streak > 0 {
+            OffloadHealth::Buffering
+        } else {
+            OffloadHealth::Healthy
+        };
+        let current = self.health;
+        // Escalations apply immediately; de-escalations wait for the exit
+        // threshold so the state doesn't flap around a boundary.
+        let next = if raw >= current {
+            raw
+        } else {
+            match current {
+                OffloadHealth::Stalled if pressure > Self::STALL_EXIT => current,
+                OffloadHealth::Throttled
+                    if pressure >= Self::THROTTLE_EXIT
+                        && streak < Self::THROTTLE_FAILURE_STREAK =>
+                {
+                    current
+                }
+                _ => raw,
+            }
+        };
+        if next != current {
+            self.health = next;
+            self.stats.health = next;
+            self.stats.health_peak = self.stats.health_peak.max(next);
+            if self.sink.is_enabled() {
+                self.sink.instant(
+                    "offload",
+                    "health_transition",
+                    self.ftl.clock().now_ns(),
+                    &[
+                        ("from", current.as_str().to_string()),
+                        ("to", next.as_str().to_string()),
+                        ("pressure", format!("{pressure:.3}")),
+                        ("staged", self.staged.len().to_string()),
+                        ("consecutive_failures", streak.to_string()),
+                    ],
+                );
+            }
+        }
     }
 
     /// Per-request latency distribution.
@@ -433,7 +751,7 @@ impl<R: RemoteTarget> RssdDevice<R> {
     ///
     /// Propagates [`RemoteError`] if the remote is unreachable.
     pub fn flush_log(&mut self) -> Result<(), RemoteError> {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() && self.staged.is_empty() {
             return Ok(());
         }
         self.offload_segment()
@@ -454,12 +772,27 @@ impl<R: RemoteTarget> RssdDevice<R> {
     pub fn verified_history(&mut self) -> Result<Vec<LogRecord>, String> {
         let chain_key = self.keys.derive(KeyPurpose::EvidenceChain, 0);
         let mut out = Vec::new();
-        let head = crate::rebuild::walk_verified_segments(
+        let mut head = crate::rebuild::walk_verified_segments(
             &chain_key,
             &self.session,
             &mut self.remote,
             |_seq, record| out.push(record),
         )?;
+        // Staged (sealed but not yet acknowledged) segments, in queue order.
+        let mut staged_records = 0usize;
+        for seg in &self.staged {
+            let inputs: Vec<Vec<u8>> = seg.records.iter().map(|r| r.chain_bytes()).collect();
+            HashChain::verify_from(&chain_key, head, &inputs, &seg.links).map_err(|e| {
+                format!(
+                    "chain gap: staged segment {} does not extend the verified \
+                     prefix ({e}) — acknowledged offloads were lost upstream \
+                     or the staged links were tampered with",
+                    seg.envelope.segment_seq()
+                )
+            })?;
+            head = seg.envelope.chain_head();
+            staged_records += seg.records.len();
+        }
         // Pending tail.
         let inputs: Vec<Vec<u8>> = self.pending.iter().map(|r| r.chain_bytes()).collect();
         HashChain::verify_from(&chain_key, head, &inputs, &self.pending_links)
@@ -468,14 +801,17 @@ impl<R: RemoteTarget> RssdDevice<R> {
         // which is stale (it still counts the lost volatile tail) while the
         // device sits crashed: a crash truncation is a documented loss, not
         // transit loss, so the check only applies to a running device.
-        let accounted = (out.len() + self.pending.len()) as u64;
+        let accounted = (out.len() + staged_records + self.pending.len()) as u64;
         if !self.crashed && accounted != self.chain.len() {
             return Err(format!(
                 "chain gap: device appended {} records but only {accounted} are \
-                 accounted for (offloaded + pending) — acknowledged offloads \
-                 were lost in transit",
+                 accounted for (offloaded + staged + pending) — acknowledged \
+                 offloads were lost in transit",
                 self.chain.len()
             ));
+        }
+        for seg in &self.staged {
+            out.extend(seg.records.iter().cloned());
         }
         out.extend(self.pending.iter().cloned());
         Ok(out)
@@ -493,12 +829,31 @@ impl<R: RemoteTarget> RssdDevice<R> {
     pub fn audit_history(&mut self) -> HistoryAudit {
         let chain_key = self.keys.derive(KeyPurpose::EvidenceChain, 0);
         let mut records: Vec<LogRecord> = Vec::new();
-        let (head, mut failure) = crate::rebuild::walk_segments_tolerant(
+        let (mut head, mut failure) = crate::rebuild::walk_segments_tolerant(
             &chain_key,
             &self.session,
             &mut self.remote,
             |_seq, record| records.push(record),
         );
+        if failure.is_none() {
+            for seg in &self.staged {
+                let inputs: Vec<Vec<u8>> = seg.records.iter().map(|r| r.chain_bytes()).collect();
+                match HashChain::verify_from(&chain_key, head, &inputs, &seg.links) {
+                    Ok(()) => {
+                        head = seg.envelope.chain_head();
+                        records.extend(seg.records.iter().cloned());
+                    }
+                    Err(e) => {
+                        failure = Some(format!(
+                            "chain gap: staged segment {} does not extend the \
+                             verified prefix ({e})",
+                            seg.envelope.segment_seq()
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
         if failure.is_none() {
             let inputs: Vec<Vec<u8>> = self.pending.iter().map(|r| r.chain_bytes()).collect();
             match HashChain::verify_from(&chain_key, head, &inputs, &self.pending_links) {
@@ -553,6 +908,22 @@ impl<R: RemoteTarget> RssdDevice<R> {
                 }
             }
         }
+        for (qi, seg) in self.staged.iter().enumerate() {
+            for rec in &seg.records {
+                if rec.lpa == lpa && rec.old_page_index.is_some() {
+                    let key = (rec.at_ns, rec.seq);
+                    if better(key, best.as_ref().map(|(b, _)| *b)) {
+                        best = Some((
+                            key,
+                            Source::Staged {
+                                queue_index: qi,
+                                record_seq: rec.seq,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
         if let Some(versions) = self.remote_index.get(&lpa) {
             for v in versions {
                 let key = (v.invalidated_at_ns, v.record_seq);
@@ -569,6 +940,24 @@ impl<R: RemoteTarget> RssdDevice<R> {
                     .read_physical_background(ppa)
                     .ok()
                     .map(|(data, _)| data)
+            }
+            (
+                _,
+                Source::Staged {
+                    queue_index,
+                    record_seq,
+                },
+            ) => {
+                // The pre-image lives inside the staged segment's sealed
+                // envelope (whether the segment is RAM-only or spilled to
+                // NAND) — open it locally, no remote involved.
+                let envelope = self.staged[queue_index].envelope.clone();
+                let segment = open_envelope(&self.session, &envelope).ok()?;
+                segment
+                    .records
+                    .into_iter()
+                    .find(|r| r.seq == record_seq)
+                    .and_then(|r| r.old_data)
             }
             (_, Source::Remote(v)) => self.fetch_remote_version(v),
         }
@@ -641,17 +1030,50 @@ impl<R: RemoteTarget> RssdDevice<R> {
             || self.ftl.pinned_block_fraction() > self.config.pinned_fraction_watermark
     }
 
+    /// Forced offload: seals whatever is pending and attempts to drain the
+    /// staged backlog regardless of the retry backoff. Used by flushes,
+    /// sync backpressure, and the stalled-write drain.
     fn offload_segment(&mut self) -> Result<(), RemoteError> {
-        if self.pending.is_empty() {
+        if self.pending.is_empty() && self.staged.is_empty() {
             return Ok(());
         }
         self.profiler.enter("wire");
-        let result = self.offload_segment_inner();
+        let result = {
+            self.seal_pending();
+            self.drain_staged(true)
+        };
         self.profiler.exit();
         result
     }
 
-    fn offload_segment_inner(&mut self) -> Result<(), RemoteError> {
+    /// Background offload: seals pending work (evidence leaves the volatile
+    /// pending tail at the same op boundary whether or not the wire is up)
+    /// but defers the ship attempt while the retry backoff is armed, so a
+    /// dead link is not hammered on every threshold crossing.
+    fn offload_segment_background(&mut self) {
+        if self.pending.is_empty() && self.staged.is_empty() {
+            return;
+        }
+        self.profiler.enter("wire");
+        self.seal_pending();
+        let _ = self.drain_staged(false);
+        self.profiler.exit();
+    }
+
+    /// Is a deferred background retry due for the staged backlog?
+    fn staged_retry_due(&self) -> bool {
+        !self.staged.is_empty() && self.ftl.clock().now_ns() >= self.next_retry_at_ns
+    }
+
+    /// Seals the pending tail into a staged segment: attaches retained
+    /// pre-images via background reads, builds the wire image once
+    /// (header + compress + seal in place), and advances the segment
+    /// cursor. This is the *only* place a segment is serialized or sealed;
+    /// every retry, spill, and replay reuses the refcounted image.
+    fn seal_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
         // Attach retained contents via background reads. These dispatch
         // onto the unit pipelines — the offload engine genuinely occupies
         // planes and channels, which is RSSD's real (small, bounded)
@@ -679,8 +1101,9 @@ impl<R: RemoteTarget> RssdDevice<R> {
         // Zero-copy assembly: build the envelope's wire image directly in
         // one buffer — header, then the compressed payload appended in
         // place, then sealed in place. The resulting `Bytes` is shared by
-        // refcount through capsules, frames, retransmissions, and the
-        // remote store; nothing downstream re-serializes or copies it.
+        // refcount through capsules, frames, retransmissions, the NAND
+        // spill and the remote store; nothing downstream re-serializes or
+        // copies it.
         let chain_head = self.chain.head();
         let mut wire = Vec::with_capacity(SegmentEnvelope::WIRE_HEADER + raw.len() / 2 + 64);
         SegmentEnvelope::write_wire_header(
@@ -698,91 +1121,195 @@ impl<R: RemoteTarget> RssdDevice<R> {
             .seal_in_place(segment.segment_seq, &mut wire, SegmentEnvelope::WIRE_HEADER);
         let envelope = SegmentEnvelope::from_wire_image(wire)
             .expect("header plus sealed payload is a complete wire image");
-        let sealed_len = envelope.sealed_payload().len() as u64;
-        let now = self.ftl.clock().now_ns();
         if self.sink.is_enabled() {
             self.sink.instant(
                 "offload",
                 "segment_sealed",
-                now,
+                self.ftl.clock().now_ns(),
                 &[
                     ("segment_seq", segment.segment_seq.to_string()),
                     ("records", segment.records.len().to_string()),
                     ("raw_bytes", raw.len().to_string()),
-                    ("sealed_bytes", sealed_len.to_string()),
+                    ("sealed_bytes", envelope.sealed_payload().len().to_string()),
                 ],
             );
         }
+        let Segment {
+            mut records, links, ..
+        } = segment;
+        // The pre-images now live inside the sealed envelope; the RAM copy
+        // of the records goes back to metadata-only.
+        for rec in &mut records {
+            rec.old_data = None;
+        }
+        self.staged.push_back(StagedSegment {
+            envelope,
+            records,
+            links,
+            retained_pages,
+            raw_bytes: raw.len() as u64,
+            spilled: false,
+        });
+        self.stats.segments_sealed += 1;
+        self.prev_segment_head = chain_head;
+        self.pending_retained = 0;
+        self.next_segment_seq += 1;
+        self.update_health();
+    }
 
-        match self.remote.store_segment(envelope, now) {
-            Ok(ack) => {
-                // The ack's durability time carries any wire latency
-                // (serialization, propagation, retransmission) back onto
-                // the device timeline: offloading over a slow link costs
-                // simulated nanoseconds the host can observe. Loopback
-                // acks land at `now`, so this is a no-op off the wire.
-                self.ftl.clock().advance_to(ack.durable_at_ns);
-                // Durable remotely: unpin, index, account.
-                for rec in &segment.records {
-                    if let Some(idx) = rec.old_page_index {
-                        self.ftl.unpin_page(geometry.page_from_index(idx));
-                        self.remote_index
-                            .entry(rec.lpa)
-                            .or_default()
-                            .push(RemoteVersion {
-                                segment_seq: segment.segment_seq,
-                                invalidated_at_ns: rec.at_ns,
-                                record_seq: rec.seq,
-                            });
+    /// Ships the staged backlog FIFO. `forced` ignores the retry backoff.
+    /// On a ship failure the unshipped tail is spilled to the NAND region
+    /// (if configured), the backoff doubles, and the health state is
+    /// recomputed — the error is returned for forced callers that need it.
+    fn drain_staged(&mut self, forced: bool) -> Result<(), RemoteError> {
+        if self.staged.is_empty() {
+            self.update_health();
+            return Ok(());
+        }
+        if !forced && self.ftl.clock().now_ns() < self.next_retry_at_ns {
+            // Deferred, not failed: make the backlog durable while waiting.
+            self.spill_staged_tail();
+            self.update_health();
+            return Ok(());
+        }
+        while let Some(front) = self.staged.front() {
+            let envelope = front.envelope.clone();
+            let segment_seq = envelope.segment_seq();
+            let sealed_len = envelope.sealed_payload().len() as u64;
+            let now = self.ftl.clock().now_ns();
+            match self.remote.store_segment(envelope, now) {
+                Ok(ack) => {
+                    // The ack's durability time carries any wire latency
+                    // (serialization, propagation, retransmission) back
+                    // onto the device timeline: offloading over a slow
+                    // link costs simulated nanoseconds the host can
+                    // observe. Loopback acks land at `now`, so this is a
+                    // no-op off the wire.
+                    self.ftl.clock().advance_to(ack.durable_at_ns);
+                    let seg = self.staged.pop_front().expect("front exists");
+                    let geometry = self.ftl.geometry();
+                    // Durable remotely: unpin (unless the spill already
+                    // released the pins), index, account.
+                    for rec in &seg.records {
+                        if let Some(idx) = rec.old_page_index {
+                            if !seg.spilled {
+                                self.ftl.unpin_page(geometry.page_from_index(idx));
+                            }
+                            self.remote_index
+                                .entry(rec.lpa)
+                                .or_default()
+                                .push(RemoteVersion {
+                                    segment_seq,
+                                    invalidated_at_ns: rec.at_ns,
+                                    record_seq: rec.seq,
+                                });
+                        }
+                    }
+                    self.stats.segments_offloaded += 1;
+                    self.stats.records_offloaded += seg.records.len() as u64;
+                    self.stats.retained_pages_offloaded += seg.retained_pages;
+                    self.stats.raw_bytes += seg.raw_bytes;
+                    self.stats.sealed_bytes += sealed_len;
+                    self.consecutive_failures = 0;
+                    self.retry_backoff_ns = Self::RETRY_BACKOFF_BASE_NS;
+                    self.next_retry_at_ns = 0;
+                    if self.sink.is_enabled() {
+                        self.sink.span(
+                            "offload",
+                            "segment_transfer",
+                            now,
+                            ack.durable_at_ns,
+                            &[
+                                ("segment_seq", segment_seq.to_string()),
+                                ("sealed_bytes", sealed_len.to_string()),
+                            ],
+                        );
+                        self.sink.instant(
+                            "offload",
+                            "segment_ack",
+                            ack.durable_at_ns,
+                            &[("segment_seq", segment_seq.to_string())],
+                        );
                     }
                 }
-                self.stats.segments_offloaded += 1;
-                self.stats.records_offloaded += segment.records.len() as u64;
-                self.stats.retained_pages_offloaded += retained_pages;
-                self.stats.raw_bytes += raw.len() as u64;
-                self.stats.sealed_bytes += sealed_len;
-                self.prev_segment_head = self.chain.head();
-                self.pending_retained = 0;
-                self.next_segment_seq += 1;
-                if self.sink.is_enabled() {
-                    self.sink.span(
-                        "offload",
-                        "segment_transfer",
-                        now,
-                        ack.durable_at_ns,
-                        &[
-                            ("segment_seq", segment.segment_seq.to_string()),
-                            ("sealed_bytes", sealed_len.to_string()),
-                        ],
-                    );
-                    self.sink.instant(
-                        "offload",
-                        "segment_ack",
-                        ack.durable_at_ns,
-                        &[("segment_seq", segment.segment_seq.to_string())],
-                    );
+                Err(e) => {
+                    // Conservative: the segment stays staged (sealed image
+                    // intact — no re-read, no re-compress, no re-seal) and
+                    // the whole unshipped tail is made locally durable.
+                    self.stats.offload_failures += 1;
+                    self.consecutive_failures += 1;
+                    if self.sink.is_enabled() {
+                        self.sink.instant(
+                            "offload",
+                            "offload_failed",
+                            now,
+                            &[
+                                ("segment_seq", segment_seq.to_string()),
+                                (
+                                    "consecutive_failures",
+                                    self.consecutive_failures.to_string(),
+                                ),
+                            ],
+                        );
+                    }
+                    self.spill_staged_tail();
+                    self.next_retry_at_ns = now + self.retry_backoff_ns;
+                    self.retry_backoff_ns =
+                        (self.retry_backoff_ns * 2).min(Self::RETRY_BACKOFF_CAP_NS);
+                    self.update_health();
+                    return Err(e);
                 }
-                Ok(())
             }
-            Err(e) => {
-                // Conservative: put the batch back, keep everything pinned.
-                self.stats.offload_failures += 1;
-                if self.sink.is_enabled() {
-                    self.sink.instant(
-                        "offload",
-                        "offload_failed",
-                        now,
-                        &[("segment_seq", segment.segment_seq.to_string())],
-                    );
+        }
+        // Fully drained: everything is durable remotely, so the local
+        // spill copies are dead weight — reclaim the region.
+        if self.ftl.spill_used_bytes() > 0 {
+            let _ = self.ftl.spill_reset();
+        }
+        self.update_health();
+        Ok(())
+    }
+
+    /// Persists every not-yet-spilled staged segment to the NAND spill
+    /// region, in FIFO order (spilled segments always form a queue
+    /// prefix). A spilled segment's evidence is durable across a power
+    /// cut, so its retained pre-image pins are released — the same
+    /// release point a successful offload would have used. Stops at the
+    /// first failure (region full): those segments stay RAM-staged with
+    /// their pins held, the conservative fallback.
+    fn spill_staged_tail(&mut self) {
+        if self.ftl.spill_capacity_bytes() == 0 {
+            return;
+        }
+        let geometry = self.ftl.geometry();
+        for i in 0..self.staged.len() {
+            if self.staged[i].spilled {
+                continue;
+            }
+            let wire = self.staged[i].envelope.wire().clone();
+            if self.ftl.spill_append(&wire).is_err() {
+                break;
+            }
+            self.staged[i].spilled = true;
+            self.stats.segments_spilled += 1;
+            for rec in &self.staged[i].records {
+                if let Some(idx) = rec.old_page_index {
+                    self.ftl.unpin_page(geometry.page_from_index(idx));
                 }
-                let Segment { records, links, .. } = segment;
-                self.pending = records;
-                // Strip attached data again (it lives on flash until acked).
-                for rec in &mut self.pending {
-                    rec.old_data = None;
-                }
-                self.pending_links = links;
-                Err(e)
+            }
+            if self.sink.is_enabled() {
+                self.sink.instant(
+                    "offload",
+                    "segment_spilled",
+                    self.ftl.clock().now_ns(),
+                    &[
+                        (
+                            "segment_seq",
+                            self.staged[i].envelope.segment_seq().to_string(),
+                        ),
+                        ("wire_bytes", wire.len().to_string()),
+                    ],
+                );
             }
         }
     }
@@ -811,26 +1338,56 @@ impl<R: RemoteTarget> RssdDevice<R> {
         if self.crashed {
             return Err(DeviceError::PowerLoss);
         }
+        // Admission control along the degradation slope. Stalled gets one
+        // forced drain first — with a frozen backlog the only way out is an
+        // attempt, and a healed link recovers on the very next write.
+        match self.health {
+            OffloadHealth::Stalled => {
+                let _ = self.offload_segment();
+                if self.health == OffloadHealth::Stalled {
+                    return Err(DeviceError::Stalled);
+                }
+            }
+            OffloadHealth::Throttled => {
+                let penalty = Self::THROTTLE_PENALTY_PER_STAGED_NS * self.staged.len() as u64;
+                self.ftl.clock().advance(penalty);
+                self.stats.throttled_writes += 1;
+                self.stats.throttle_penalty_ns += penalty;
+            }
+            _ => {}
+        }
         let start = self.ftl.clock().now_ns();
         let entropy_mil = (shannon_entropy(&data) * 1000.0) as u16;
         let read_before = self.read_before(lpa, start);
 
         let mut sync_tried = 0u32;
+        let mut payload = Some(data);
         let ticket = loop {
-            match self.ftl.write_async(lpa, data.clone()) {
+            let buf = payload.take().expect("payload present on every attempt");
+            match self.ftl.write_async_reclaim(lpa, buf) {
                 Ok(ticket) => break ticket,
-                Err(FtlError::DeviceFull) if sync_tried < 4 => {
+                Err((FtlError::DeviceFull, reclaimed)) if sync_tried < 4 => {
                     // Backpressure: synchronously offload pinned data, then
-                    // retry. RSSD never *drops* retained data — if the remote
-                    // is unreachable the device stalls instead.
+                    // retry with the reclaimed buffer — `DeviceFull` is
+                    // raised before the NAND consumes the payload, so no
+                    // clone is ever needed. RSSD never *drops* retained
+                    // data — if neither the remote nor the spill region can
+                    // absorb it the device stalls instead.
+                    payload = reclaimed;
                     sync_tried += 1;
                     self.stats.sync_offloads += 1;
-                    if self.offload_segment().is_err() {
+                    let pinned_before = self.ftl.pinned_pages();
+                    let shipped = self.offload_segment().is_ok();
+                    if !shipped && self.ftl.pinned_pages() >= pinned_before {
+                        // Neither the wire nor the spill freed anything.
+                        return Err(DeviceError::Stalled);
+                    }
+                    if payload.is_none() {
                         return Err(DeviceError::Stalled);
                     }
                 }
-                Err(FtlError::DeviceFull) => return Err(DeviceError::Stalled),
-                Err(e) => return Err(e.into()),
+                Err((FtlError::DeviceFull, _)) => return Err(DeviceError::Stalled),
+                Err((e, _)) => return Err(e.into()),
             }
         };
         if block {
@@ -847,9 +1404,11 @@ impl<R: RemoteTarget> RssdDevice<R> {
         if !had_old {
             self.log_operation(LogOp::Write, lpa, None, entropy_mil, read_before);
         }
-        if !defer_offload && self.should_offload() {
-            // Background offload: failures are tolerated (data stays pinned).
-            let _ = self.offload_segment();
+        if !defer_offload && (self.should_offload() || self.staged_retry_due()) {
+            // Background offload: failures are tolerated (the sealed
+            // segment stays staged — and spilled to NAND if configured)
+            // and retries honor the adaptive backoff.
+            self.offload_segment_background();
         }
         self.latency.record(ticket.done_ns.saturating_sub(start));
         Ok(ticket.done_ns)
@@ -877,7 +1436,7 @@ impl<R: RemoteTarget> RssdDevice<R> {
         if self.config.log_reads {
             self.log_operation(LogOp::Read, lpa, None, 0, false);
             if !defer_offload && self.pending.len() >= self.config.segment_pages * 8 {
-                let _ = self.offload_segment();
+                self.offload_segment_background();
             }
         }
         self.latency.record(ticket.done_ns.saturating_sub(start));
@@ -894,7 +1453,7 @@ impl<R: RemoteTarget> RssdDevice<R> {
         self.ftl.trim(lpa)?;
         self.absorb_stale_events(0, false);
         if !defer_offload && self.should_offload() {
-            let _ = self.offload_segment();
+            self.offload_segment_background();
         }
         Ok(self.ftl.clock().now_ns())
     }
@@ -902,6 +1461,7 @@ impl<R: RemoteTarget> RssdDevice<R> {
 
 enum Source {
     Pending(usize),
+    Staged { queue_index: usize, record_seq: u64 },
     Remote(RemoteVersion),
 }
 
@@ -991,11 +1551,11 @@ impl<R: RemoteTarget> BlockDevice for RssdDevice<R> {
             horizon = horizon.max(done);
             results.push((result, done));
         }
-        if self.should_offload() {
-            // One coalesced background offload for the whole batch
-            // (offload_segment ships everything pending in a single
-            // segment, so one call settles any threshold crossed above).
-            let _ = self.offload_segment();
+        if self.should_offload() || self.staged_retry_due() {
+            // One coalesced background offload for the whole batch (the
+            // seal covers everything pending in a single segment, so one
+            // call settles any threshold crossed above).
+            self.offload_segment_background();
         }
         self.ftl.clock().advance_to(horizon);
         results
@@ -1458,5 +2018,168 @@ mod tests {
         d.write_page(0, page(0)).unwrap(); // zero page: entropy 0
         let history = d.verified_history().unwrap();
         assert_eq!(history[0].entropy_mil, 0);
+    }
+
+    fn spill_device() -> RssdDevice<LoopbackTarget> {
+        RssdDevice::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+            RssdConfig {
+                segment_pages: 8,
+                spill_blocks: 2,
+                ..RssdConfig::default()
+            },
+            LoopbackTarget::new(),
+        )
+    }
+
+    #[test]
+    fn retries_reuse_the_sealed_wire_image_without_resealing() {
+        let mut d = device();
+        d.remote_mut().set_reachable(false);
+        for i in 0..20u64 {
+            d.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        assert!(d.flush_log().is_err());
+        let s = d.offload_stats();
+        let sealed = s.segments_sealed;
+        let failures = s.offload_failures;
+        assert!(sealed > 0);
+        assert!(failures > 0);
+        // Forced retries must not compress or seal anything again: the
+        // staged wire images are reused byte-identically on every attempt.
+        for _ in 0..5 {
+            assert!(d.flush_log().is_err());
+        }
+        let s = d.offload_stats();
+        assert_eq!(s.segments_sealed, sealed, "a retry re-sealed a segment");
+        assert_eq!(s.segments_offloaded, 0);
+        assert!(
+            s.offload_failures >= failures + 5,
+            "each retry is an attempt"
+        );
+        // Heal: every staged segment ships exactly once.
+        d.remote_mut().set_reachable(true);
+        d.flush_log().unwrap();
+        let s = d.offload_stats();
+        assert_eq!(s.segments_offloaded, s.segments_sealed);
+        assert_eq!(d.staged_segments(), 0);
+        assert_eq!(s.health, OffloadHealth::Healthy);
+    }
+
+    #[test]
+    fn health_machine_degrades_under_outage_and_recovers_on_heal() {
+        let mut d = RssdDevice::new(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+            RssdConfig {
+                segment_pages: 1,
+                ..RssdConfig::default()
+            },
+            LoopbackTarget::new(),
+        );
+        assert_eq!(d.offload_health(), OffloadHealth::Healthy);
+        d.write_page(0, page(0)).unwrap();
+        d.remote_mut().set_reachable(false);
+        let mut seen = Vec::new();
+        let mut stalled = false;
+        for i in 1..=200u64 {
+            match d.write_page(0, page(i as u8)) {
+                Ok(_) => {
+                    let h = d.offload_health();
+                    if seen.last() != Some(&h) {
+                        seen.push(h);
+                    }
+                }
+                Err(DeviceError::Stalled) => {
+                    stalled = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error during outage: {e:?}"),
+            }
+        }
+        assert!(stalled, "sustained outage must end in a Stalled refusal");
+        assert_eq!(d.offload_health(), OffloadHealth::Stalled);
+        // The device walked the slope rather than jumping to refusal.
+        assert!(seen.contains(&OffloadHealth::Buffering), "{seen:?}");
+        assert!(seen.contains(&OffloadHealth::Throttled), "{seen:?}");
+        let s = d.offload_stats();
+        assert!(s.throttled_writes > 0, "Throttled admission saw traffic");
+        assert!(s.throttle_penalty_ns > 0, "throttled writes pay latency");
+        assert_eq!(s.health, OffloadHealth::Stalled);
+
+        // Heal: the very next write force-drains the backlog, is admitted,
+        // and the machine returns to Healthy.
+        d.remote_mut().set_reachable(true);
+        d.write_page(0, page(0xFF)).unwrap();
+        assert_eq!(d.offload_health(), OffloadHealth::Healthy);
+        assert_eq!(d.staged_segments(), 0);
+        let s = d.offload_stats();
+        assert_eq!(s.segments_offloaded, s.segments_sealed);
+        // Nothing was lost while riding the outage: the full history still
+        // verifies end to end.
+        let history = d.verified_history().unwrap();
+        assert_eq!(history.len() as u64, d.chain_len());
+    }
+
+    #[test]
+    fn spilled_evidence_survives_power_cut_mid_outage() {
+        let mut d = spill_device();
+        assert!(d.spill_capacity_bytes() > 0);
+        for i in 0..20u64 {
+            d.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        d.flush_log().unwrap();
+        let remote_before = d.offload_stats().segments_offloaded;
+
+        d.remote_mut().set_reachable(false);
+        for i in 20..60u64 {
+            d.write_page(i % 4, page(i as u8)).unwrap();
+        }
+        assert!(d.flush_log().is_err());
+        let s = d.offload_stats();
+        assert!(s.segments_spilled > 0, "outage must spill staged segments");
+        assert!(d.spill_used_bytes() > 0);
+        let chain_at_cut = d.chain_len();
+
+        // Power cut while the uplink is still dark: sealed evidence was
+        // spilled to NAND, so nothing dies with the controller RAM.
+        let report = d.crash();
+        assert_eq!(report.pending_records_lost, 0, "all evidence was spilled");
+
+        d.remote_mut().set_reachable(true);
+        let recovery = d.recover().unwrap();
+        assert!(d.offload_stats().spill_replayed > 0, "spill replay ran");
+        assert_eq!(d.chain_len(), chain_at_cut, "chain resumed unforked");
+        assert_eq!(recovery.records_indexed, chain_at_cut);
+
+        // Heal: the replayed backlog drains and the spill region is
+        // reclaimed for the next outage.
+        d.flush_log().unwrap();
+        let s = d.offload_stats();
+        assert!(s.segments_offloaded > remote_before);
+        assert_eq!(d.staged_segments(), 0);
+        assert_eq!(d.spill_used_bytes(), 0, "spill reclaimed after drain");
+
+        // Every acked pre-image is recoverable; the chain verifies end to
+        // end. lpa 0 was last overwritten at i=56, destroying the i=52 data.
+        assert_eq!(d.recover_page(0).unwrap(), page(52));
+        let history = d.verified_history().unwrap();
+        assert_eq!(history.len() as u64, d.chain_len());
+    }
+
+    #[test]
+    fn spilled_segments_serve_recovery_without_the_remote() {
+        let mut d = spill_device();
+        d.write_page(3, page(1)).unwrap();
+        d.remote_mut().set_reachable(false);
+        d.write_page(3, page(2)).unwrap();
+        let _ = d.flush_log(); // seals + spills; the wire attempt fails
+        assert!(d.offload_stats().segments_spilled > 0);
+        // The pre-image lives only in the sealed (spilled) segment now, and
+        // recovery opens it locally — no uplink required.
+        assert_eq!(d.recover_page(3).unwrap(), page(1));
     }
 }

@@ -58,7 +58,9 @@ pub mod wire;
 
 pub use analysis::{AnalysisReport, AttackClass, PostAttackAnalyzer};
 pub use config::RssdConfig;
-pub use device::{CrashRecovery, CrashReport, HistoryAudit, OffloadStats, RssdDevice};
+pub use device::{
+    CrashRecovery, CrashReport, HistoryAudit, OffloadHealth, OffloadStats, RssdDevice,
+};
 pub use logrec::{LogOp, LogRecord, Segment, SegmentEnvelope, WireError};
 pub use rebuild::{HarvestReport, RebuildImage};
 pub use recovery::{RecoveryEngine, RecoveryReport};

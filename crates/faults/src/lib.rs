@@ -52,7 +52,8 @@ pub use scenario::{
 };
 pub use schedule::{FaultEvent, FaultSchedule};
 pub use target::{
-    scenario_member, scenario_member_with, FaultError, FaultRemote, FaultTarget, PowerRestoreReport,
+    scenario_member, scenario_member_durable, scenario_member_durable_with, scenario_member_with,
+    FaultError, FaultRemote, FaultTarget, PowerRestoreReport,
 };
 
 // Re-exported so scorecard consumers can match verdicts without another dep.

@@ -30,8 +30,11 @@
 
 use crate::injector::FaultInjector;
 use crate::remote::{FaultyRemote, PartitionMode, PermissiveTarget};
-use crate::schedule::FaultSchedule;
-use crate::target::{scenario_member, scenario_member_with, FaultError, FaultTarget};
+use crate::schedule::{FaultEvent, FaultSchedule};
+use crate::target::{
+    scenario_member, scenario_member_durable, scenario_member_durable_with, scenario_member_with,
+    FaultError, FaultRemote, FaultTarget,
+};
 use rssd_array::RssdArray;
 use rssd_attacks::{ClassicRansomware, FileTable, GcAttack, TimingAttack, TrimAttack};
 use rssd_bench::BenchRow;
@@ -172,6 +175,14 @@ pub enum FaultPlan {
     /// The remote link partitions late in the attack; offloads are acked
     /// and silently dropped — the chain-gap case.
     PartitionDrop,
+    /// A sustained uplink blackout (refused offloads, no relay) covering
+    /// the middle 30 % of the attack, with a power cut landing *inside*
+    /// the blackout. The compound case the durable evidence spill exists
+    /// for: sealed segments cannot leave the device and then the
+    /// controller RAM dies — only the FTL spill region carries the staged
+    /// evidence across the cut. Cells with this plan run on spill-enabled
+    /// members ([`FaultPlan::needs_spill`]).
+    BlackoutCut,
     /// One array member dies mid-attack.
     ShardDeath {
         /// The member to kill.
@@ -199,6 +210,7 @@ impl FaultPlan {
             FaultPlan::PowerCutMidAttack => "power_cut".to_string(),
             FaultPlan::PartitionQueue => "partition_queue".to_string(),
             FaultPlan::PartitionDrop => "partition_drop".to_string(),
+            FaultPlan::BlackoutCut => "blackout_cut".to_string(),
             FaultPlan::ShardDeath { .. } => "shard_death".to_string(),
             FaultPlan::DoubleFault { .. } => "double_fault".to_string(),
             FaultPlan::Seeded { seed } => format!("seeded_{seed}"),
@@ -221,6 +233,25 @@ impl FaultPlan {
                 base + est / 2,
                 base + 3 * est / 4,
             ),
+            // Blackout over the middle 30 % of the attack; the cut fires at
+            // the same halfway op as `PowerCutMidAttack`, but here recovery
+            // has to walk the spill region because the segments sealed
+            // since 35 % never reached the remote.
+            FaultPlan::BlackoutCut => FaultSchedule::new(
+                "blackout_cut",
+                vec![
+                    FaultEvent::PartitionStart {
+                        at_op: base + 7 * est / 20,
+                        mode: PartitionMode::Refuse,
+                    },
+                    FaultEvent::PowerCut {
+                        at_op: base + est / 2,
+                    },
+                    FaultEvent::PartitionHeal {
+                        at_op: base + 13 * est / 20,
+                    },
+                ],
+            ),
             // Deaths land late in the attack: retention guards *destroyed*
             // data, so a striped (parity-less) shard death forfeits whatever
             // live data the attack had not yet touched — the later the
@@ -237,6 +268,24 @@ impl FaultPlan {
             ),
             FaultPlan::Seeded { seed } => FaultSchedule::seeded(*seed, est, shards).offset(base),
         }
+    }
+
+    /// Whether cells with this plan run on spill-enabled (durable) members.
+    /// Only plans that combine an offload outage with a power cut need the
+    /// FTL spill region; everything else runs on the baseline geometry so
+    /// established cell scorecards stay byte-identical.
+    #[must_use]
+    pub fn needs_spill(&self) -> bool {
+        matches!(self, FaultPlan::BlackoutCut)
+    }
+}
+
+/// Builds one cell member honoring the plan's durability requirement.
+fn plan_member<R: FaultRemote>(plan: FaultPlan, device_id: u64) -> RssdDevice<R> {
+    if plan.needs_spill() {
+        scenario_member_durable(device_id)
+    } else {
+        scenario_member(device_id)
     }
 }
 
@@ -288,7 +337,7 @@ impl Scenario {
         type Remote = FaultyRemote<PermissiveTarget>;
         match self.topology {
             Topology::Bare | Topology::MultiQueue { .. } => {
-                let device: RssdDevice<Remote> = scenario_member(1);
+                let device: RssdDevice<Remote> = plan_member(self.plan, 1);
                 run_cell_traced(
                     FaultInjector::new(device, &FaultSchedule::none()),
                     self,
@@ -299,8 +348,9 @@ impl Scenario {
                 shards,
                 stripe_pages,
             } => {
-                let members: Vec<RssdDevice<Remote>> =
-                    (0..shards as u64).map(scenario_member).collect();
+                let members: Vec<RssdDevice<Remote>> = (0..shards as u64)
+                    .map(|i| plan_member(self.plan, i))
+                    .collect();
                 let array = RssdArray::new(members, stripe_pages, SimClock::new());
                 run_cell_traced(
                     FaultInjector::new(array, &FaultSchedule::none()),
@@ -344,7 +394,14 @@ impl Scenario {
         sink: SinkHandle,
     ) -> Result<Scorecard, FaultError> {
         type Remote = WireRemote<PermissiveTarget>;
-        let member = |id: u64, remote: Remote| scenario_member_with(id, remote);
+        let durable = self.plan.needs_spill();
+        let member = move |id: u64, remote: Remote| {
+            if durable {
+                scenario_member_durable_with(id, remote)
+            } else {
+                scenario_member_with(id, remote)
+            }
+        };
         match self.topology {
             Topology::Bare | Topology::MultiQueue { .. } => {
                 let device = member(1, WireRemote::new(PermissiveTarget::new(), link));
@@ -474,6 +531,12 @@ pub struct Scorecard {
     pub segments_offloaded: u64,
     /// Offload attempts that failed visibly.
     pub offload_failures: u64,
+    /// Sealed segments staged durably in the FTL spill region while the
+    /// remote was unreachable.
+    pub segments_spilled: u64,
+    /// Spilled segments replayed back into the staged queue by post-cut
+    /// recovery.
+    pub spill_replayed: u64,
     /// Offloads buffered during queue-mode partitions.
     pub offloads_queued: u64,
     /// Buffered offloads replayed in order on heal.
@@ -504,7 +567,8 @@ impl Scorecard {
              \"records_audited\": {}, \"power_cuts\": {}, \
              \"torn_batches\": {}, \"attack_interruptions\": {}, \
              \"shards_revived\": {}, \"segments_offloaded\": {}, \
-             \"offload_failures\": {}, \"offloads_queued\": {}, \
+             \"offload_failures\": {}, \"segments_spilled\": {}, \
+             \"spill_replayed\": {}, \"offloads_queued\": {}, \
              \"offloads_replayed\": {}, \"offloads_dropped\": {}, \
              \"skipped_events\": {}}}",
             self.cell,
@@ -527,6 +591,8 @@ impl Scorecard {
             self.shards_revived,
             self.segments_offloaded,
             self.offload_failures,
+            self.segments_spilled,
+            self.spill_replayed,
             self.offloads_queued,
             self.offloads_replayed,
             self.offloads_dropped,
@@ -561,6 +627,8 @@ impl Scorecard {
                 ("torn_batches", self.torn_batches as f64),
                 ("attack_interruptions", self.attack_interruptions as f64),
                 ("shards_revived", self.shards_revived as f64),
+                ("segments_spilled", self.segments_spilled as f64),
+                ("spill_replayed", self.spill_replayed as f64),
                 ("offloads_dropped", self.offloads_dropped as f64),
             ],
         }
@@ -654,6 +722,18 @@ impl ScenarioMatrix {
                     array,
                     22,
                 ),
+                // The degradation acceptance cells: a sustained uplink
+                // blackout with a power cut inside it, on spill-enabled
+                // members. Appended after the original grid so the
+                // determinism tests' positional cell references stay valid.
+                cell(
+                    "hm",
+                    ActorKind::Classic,
+                    FaultPlan::BlackoutCut,
+                    Topology::Bare,
+                    23,
+                ),
+                cell("src", ActorKind::Timing, FaultPlan::BlackoutCut, mq, 24),
             ],
         }
     }
@@ -1043,6 +1123,8 @@ fn run_cell_traced<D: FaultTarget>(
         shards_revived: revived,
         segments_offloaded: offload.segments_offloaded,
         offload_failures: offload.offload_failures,
+        segments_spilled: offload.segments_spilled,
+        spill_replayed: offload.spill_replayed,
         offloads_queued: remote_faults.offloads_queued,
         offloads_replayed: remote_faults.offloads_replayed,
         offloads_dropped: remote_faults.offloads_dropped,
@@ -1084,6 +1166,8 @@ mod summary_tests {
             shards_revived: 0,
             segments_offloaded: 3,
             offload_failures: 0,
+            segments_spilled: 0,
+            spill_replayed: 0,
             offloads_queued: 0,
             offloads_replayed: 0,
             offloads_dropped: 1,

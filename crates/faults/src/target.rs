@@ -205,6 +205,15 @@ impl<R: RemoteTarget + FaultRemote> FaultRemote for WireRemote<R> {
 /// The geometry scenario members (and their replacements) are built with.
 pub(crate) const MEMBER_CAPACITY_BYTES: u64 = 4 * 1024 * 1024;
 
+/// The geometry of *durable* members (spill-enabled cells): one capacity
+/// step larger than [`MEMBER_CAPACITY_BYTES`] so the reserved spill blocks
+/// come out of extra flash, not out of the allocator pool the baseline
+/// members run their workloads in.
+pub(crate) const DURABLE_MEMBER_CAPACITY_BYTES: u64 = 8 * 1024 * 1024;
+
+/// NAND blocks durable members reserve as an evidence-spill region.
+pub(crate) const MEMBER_SPILL_BLOCKS: u32 = 3;
+
 /// Builds one scenario member: a small RSSD on its own clock over a fresh
 /// remote of kind `R`. Used both by the harness to assemble topologies and
 /// by [`FaultTarget::revive_dead_shards`] to construct replacements, so the
@@ -230,6 +239,33 @@ pub fn scenario_member_with<R: RemoteTarget>(device_id: u64, remote: R) -> RssdD
         RssdConfig {
             device_id,
             segment_pages: 4,
+            ..RssdConfig::default()
+        },
+        remote,
+    )
+}
+
+/// A *durable* scenario member: same small segments as [`scenario_member`],
+/// plus an FTL-reserved evidence-spill region so sealed segments survive a
+/// power cut that lands inside a remote outage. Used by fault plans whose
+/// whole point is the outage × cut product ([`FaultPlan::needs_spill`]).
+///
+/// [`FaultPlan::needs_spill`]: crate::FaultPlan::needs_spill
+pub fn scenario_member_durable<R: FaultRemote>(device_id: u64) -> RssdDevice<R> {
+    scenario_member_durable_with(device_id, R::fresh())
+}
+
+/// [`scenario_member_durable`] with an explicit, caller-built remote (the
+/// shared-uplink analogue of [`scenario_member_with`]).
+pub fn scenario_member_durable_with<R: RemoteTarget>(device_id: u64, remote: R) -> RssdDevice<R> {
+    RssdDevice::new(
+        FlashGeometry::with_capacity(DURABLE_MEMBER_CAPACITY_BYTES),
+        NandTiming::instant(),
+        SimClock::new(),
+        RssdConfig {
+            device_id,
+            segment_pages: 4,
+            spill_blocks: MEMBER_SPILL_BLOCKS,
             ..RssdConfig::default()
         },
         remote,

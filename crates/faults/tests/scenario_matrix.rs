@@ -1,6 +1,6 @@
-//! Tier-1 scenario matrix: the curated 12-cell grid (3 topologies × 5
-//! actors × 6 fault schedules, sampled), every cell's scorecard asserted,
-//! results written to `BENCH_scenarios.json` for cross-PR tracking.
+//! Tier-1 scenario matrix: the curated grid (3 topologies × 5 actors × 7
+//! fault schedules, sampled), every cell's scorecard asserted, results
+//! written to `BENCH_scenarios.json` for cross-PR tracking.
 //!
 //! The assertions encode the fault-model contract of DESIGN.md §6:
 //!
@@ -10,6 +10,9 @@
 //!   verifies end to end, and recovery is still total;
 //! * a queue-mode partition replays every buffered offload in order and
 //!   costs nothing;
+//! * a sustained uplink blackout with a power cut **inside** it loses
+//!   nothing: sealed evidence rides the FTL spill region across the cut,
+//!   recovery replays it, and the chain never forks;
 //! * a drop-mode partition is **detected as a chain gap** — data may be
 //!   lost, silence may not;
 //! * shard deaths cost exactly the data retention had not yet guarded
@@ -102,6 +105,41 @@ fn curated_matrix_holds_the_fault_model_contract() {
             card.recovery_fraction, 1.0,
             "{cell}: acked-durable writes and offloaded retention survive power loss"
         );
+    }
+
+    // --- Blackout + cut: a power loss *inside* a refused-offload outage.
+    // The degradation acceptance: every acked page recovers, zero evidence
+    // loss, unforked chain — possible only because sealed segments staged
+    // into the durable spill region while the wire was dead.
+    for cell in [
+        "hm/classic/blackout_cut/bare",
+        "src/timing/blackout_cut/mq4x8",
+    ] {
+        let card = find(&cards, cell);
+        assert_eq!(card.power_cuts, 1, "{cell}: the scheduled cut fired");
+        assert!(
+            card.offload_failures > 0,
+            "{cell}: the blackout refused offload traffic"
+        );
+        assert!(
+            card.segments_spilled > 0,
+            "{cell}: sealed evidence staged durably during the outage"
+        );
+        assert!(
+            card.spill_replayed > 0,
+            "{cell}: recovery replayed the spill region"
+        );
+        assert!(card.attack_interruptions >= 1, "{cell}");
+        assert!(
+            card.chain_verified,
+            "{cell}: spill replay must not fork the evidence chain"
+        );
+        assert!(card.true_positive, "{cell}: detection survives the outage");
+        assert_eq!(
+            card.recovery_fraction, 1.0,
+            "{cell}: zero evidence loss across blackout + cut"
+        );
+        assert_eq!(card.data_loss_bytes, 0, "{cell}");
     }
 
     // --- Queue-mode partition: buffered offloads replay in order, free.

@@ -47,6 +47,23 @@ fn wired_device() -> RssdDevice<WireRemote<LoopbackTarget>> {
     )
 }
 
+/// A spill-enabled device over a direct loopback remote: the configuration
+/// the outage-equivalence proptests run on both sides of the comparison,
+/// so the *only* differing variable is whether the remote was reachable.
+fn spill_device() -> RssdDevice<LoopbackTarget> {
+    RssdDevice::new(
+        FlashGeometry::with_capacity(CAPACITY),
+        NandTiming::instant(),
+        SimClock::new(),
+        RssdConfig {
+            segment_pages: 4,
+            spill_blocks: 3,
+            ..RssdConfig::default()
+        },
+        LoopbackTarget::new(),
+    )
+}
+
 /// One host-visible operation, drawn by proptest.
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -60,6 +77,16 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         6 => (any::<u64>(), any::<u8>()).prop_map(|(l, b)| Op::Write(l, b)),
         2 => any::<u64>().prop_map(Op::Trim),
         1 => Just(Op::Flush),
+    ]
+}
+
+/// Ops drawn for an outage window: no explicit flushes, because a forced
+/// flush against a dead remote fails *visibly* by design — the equivalence
+/// under test is about the background write path riding the outage.
+fn outage_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u64>(), any::<u8>()).prop_map(|(l, b)| Op::Write(l, b)),
+        2 => any::<u64>().prop_map(Op::Trim),
     ]
 }
 
@@ -168,6 +195,137 @@ proptest! {
             direct.inner_mut().remote_mut(),
             wired.inner_mut().remote_mut(),
         );
+    }
+
+    /// Outage equivalence, bare: the same op stream through a device whose
+    /// remote dies for the middle window — offloads fail, sealed segments
+    /// spill to NAND, the remote heals, the backlog replays — must leave
+    /// chain, remote store and every point-in-time recovery answer
+    /// byte-identical to the never-outage run. The outage window carries no
+    /// explicit flushes and stays small enough that the device degrades no
+    /// further than Buffering, so admission control cannot skew the clock.
+    #[test]
+    fn outage_spill_heal_replay_is_invisible_bare(
+        prefix in proptest::collection::vec(op_strategy(), 1..40),
+        outage in proptest::collection::vec(outage_op_strategy(), 1..40),
+        suffix in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let mut steady = spill_device();
+        let mut outaged = spill_device();
+        for &op in &prefix {
+            let a = apply(&mut steady, op);
+            let b = apply(&mut outaged, op);
+            prop_assert_eq!(a, b, "prefix op {:?} diverged", op);
+        }
+        outaged.remote_mut().set_reachable(false);
+        for &op in &outage {
+            let a = apply(&mut steady, op);
+            let b = apply(&mut outaged, op);
+            prop_assert_eq!(a, b, "outage op {:?} diverged at the host", op);
+        }
+        outaged.remote_mut().set_reachable(true);
+        for &op in &suffix {
+            let a = apply(&mut steady, op);
+            let b = apply(&mut outaged, op);
+            prop_assert_eq!(a, b, "post-heal op {:?} diverged", op);
+        }
+        // Drain both backlogs (a no-op for the steady device).
+        steady.flush().unwrap();
+        outaged.flush().unwrap();
+
+        // The outage consumed zero simulated time and left zero residue.
+        prop_assert_eq!(steady.clock().now_ns(), outaged.clock().now_ns());
+        prop_assert_eq!(outaged.staged_segments(), 0);
+        prop_assert_eq!(outaged.spill_used_bytes(), 0);
+        // Chain, history, durable remote bytes, recovery: byte-identical.
+        prop_assert_eq!(steady.chain_head(), outaged.chain_head());
+        prop_assert_eq!(
+            steady.verified_history().unwrap(),
+            outaged.verified_history().unwrap()
+        );
+        assert_remotes_identical(steady.remote_mut(), outaged.remote_mut());
+        for lpa in 0..steady.logical_pages() {
+            prop_assert_eq!(steady.recover_page(lpa), outaged.recover_page(lpa));
+        }
+    }
+
+    /// Outage × crash equivalence, behind the injector: both devices take
+    /// the same scheduled power cut, but one takes it *inside* a remote
+    /// outage. For the steady device the sealed backlog is already remote;
+    /// for the outaged one it exists only in the spill region — recovery
+    /// must replay it so both emerge with identical chains, histories,
+    /// remote stores and recovery answers (the spill is exactly as durable
+    /// as the remote it stood in for).
+    #[test]
+    fn outage_crash_heal_replay_matches_never_outage_behind_injector(
+        ops in proptest::collection::vec(outage_op_strategy(), 45..110),
+        outage_from in 2usize..8,
+        cut_at in 10u64..40,
+    ) {
+        let schedule = FaultSchedule::power_cut(cut_at);
+        let mut steady = FaultInjector::new(spill_device(), &schedule);
+        let mut outaged = FaultInjector::new(spill_device(), &schedule);
+        let mut outage_open = false;
+        for (i, &op) in ops.iter().enumerate() {
+            if i == outage_from {
+                outaged.inner_mut().remote_mut().set_reachable(false);
+                outage_open = true;
+            }
+            let a = apply(&mut steady, op);
+            let b = apply(&mut outaged, op);
+            prop_assert_eq!(&a, &b, "op {:?} diverged under outage + cut", op);
+            if a == Err(DeviceError::PowerLoss) {
+                let ra = steady.restore_power().unwrap();
+                // The outaged device cannot walk a dead remote that holds
+                // evidence: recovery fails visibly, the operator restores
+                // the network, and the retry replays the spill region. (If
+                // nothing was ever offloaded the walk is empty and the
+                // first attempt succeeds — nothing to refuse over.)
+                let rb = match outaged.restore_power() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        outaged.inner_mut().remote_mut().set_reachable(true);
+                        outage_open = false;
+                        outaged.restore_power().unwrap()
+                    }
+                };
+                if outage_open {
+                    outaged.inner_mut().remote_mut().set_reachable(true);
+                    outage_open = false;
+                }
+                // The cut cost both devices the same volatile tail.
+                prop_assert_eq!(ra.pending_records_lost, rb.pending_records_lost);
+                prop_assert_eq!(ra.pending_preimages_lost, rb.pending_preimages_lost);
+            }
+        }
+        if outage_open {
+            // The cut landed past the op stream's end: heal without a crash.
+            outaged.inner_mut().remote_mut().set_reachable(true);
+        }
+        steady.inner_mut().flush().unwrap();
+        outaged.inner_mut().flush().unwrap();
+
+        prop_assert_eq!(steady.power_cuts(), outaged.power_cuts());
+        let audit_steady = steady.history_audit();
+        let audit_outaged = outaged.history_audit();
+        prop_assert!(audit_steady.verified, "steady chain must verify");
+        prop_assert!(audit_outaged.verified, "spill replay must not fork the chain");
+        prop_assert_eq!(audit_steady.records, audit_outaged.records);
+        prop_assert_eq!(
+            steady.inner_mut().chain_head(),
+            outaged.inner_mut().chain_head()
+        );
+        assert_remotes_identical(
+            steady.inner_mut().remote_mut(),
+            outaged.inner_mut().remote_mut(),
+        );
+        let horizon = steady.clock().now_ns() + 1;
+        for lpa in 0..steady.logical_pages() {
+            prop_assert_eq!(
+                steady.recover_as_of(lpa, horizon),
+                outaged.recover_as_of(lpa, horizon)
+            );
+        }
     }
 }
 

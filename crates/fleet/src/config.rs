@@ -97,6 +97,11 @@ pub struct FleetConfig {
     pub compromised_fraction: f64,
     /// Fraction of members executing under a seeded fault schedule.
     pub fault_fraction: f64,
+    /// Fraction of members riding a sustained uplink outage: a degraded
+    /// member runs on spill-enabled hardware and loses its remote for the
+    /// middle ~30 % of its replay, exercising the offload health machine
+    /// and the durable evidence spill at fleet scale.
+    pub outage_fraction: f64,
     /// Every `array_every`-th member is a small array (0 disables arrays).
     pub array_every: usize,
     /// Shards per array member.
@@ -118,6 +123,7 @@ impl Default for FleetConfig {
             diurnal: true,
             compromised_fraction: 0.25,
             fault_fraction: 0.0,
+            outage_fraction: 0.0,
             array_every: 8,
             array_shards: 3,
             stripe_pages: 4,
@@ -158,6 +164,13 @@ impl FleetConfig {
     #[must_use]
     pub fn member_faulted(&self, member: usize) -> bool {
         member_unit(member_seed(self.seed, member), 0xFA17) < self.fault_fraction
+    }
+
+    /// Whether member `id` rides a sustained uplink outage (and therefore
+    /// runs on spill-enabled hardware).
+    #[must_use]
+    pub fn member_degraded(&self, member: usize) -> bool {
+        member_unit(member_seed(self.seed, member), 0x0B1A) < self.outage_fraction
     }
 }
 

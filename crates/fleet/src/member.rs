@@ -13,7 +13,8 @@ use rssd_compress::shannon_entropy;
 use rssd_core::{OffloadStats, PostAttackAnalyzer, WireRemote};
 use rssd_detect::{Verdict, WriteObservation};
 use rssd_faults::{
-    scenario_member_with, FaultInjector, FaultSchedule, FaultTarget, PermissiveTarget,
+    scenario_member_durable_with, scenario_member_with, FaultEvent, FaultInjector, FaultSchedule,
+    FaultTarget, PartitionMode, PermissiveTarget,
 };
 use rssd_flash::{NandStats, SimClock};
 use rssd_ftl::FtlStats;
@@ -80,6 +81,9 @@ pub struct MemberScorecard {
     pub compromised: bool,
     /// Whether this member ran under a seeded fault schedule.
     pub faulted: bool,
+    /// Whether this member rode a sustained uplink outage on spill-enabled
+    /// hardware.
+    pub degraded: bool,
     /// Chain-derived post-attack verdict.
     pub verdict: Verdict,
     /// Ensemble detection score behind the verdict.
@@ -193,6 +197,14 @@ pub fn run_member_instrumented(
     let kind = config.member_kind(member);
     let compromised = config.member_compromised(member);
     let faulted = config.member_faulted(member);
+    let degraded = config.member_degraded(member);
+    let build = |device_id: u64, remote: WireRemote<PermissiveTarget>| {
+        if degraded {
+            scenario_member_durable_with(device_id, remote)
+        } else {
+            scenario_member_with(device_id, remote)
+        }
+    };
     let sink = if obs.trace {
         SinkHandle::recording().with_track_prefix(&format!("m{member}/"))
     } else {
@@ -206,7 +218,7 @@ pub fn run_member_instrumented(
 
     let outcome = match kind {
         MemberKind::Bare => {
-            let device = scenario_member_with(
+            let device = build(
                 member as u64 * DEVICE_ID_STRIDE,
                 WireRemote::new(PermissiveTarget::new(), config.link),
             );
@@ -217,6 +229,7 @@ pub fn run_member_instrumented(
                 kind,
                 compromised,
                 faulted,
+                degraded,
                 device,
                 1,
                 &sink,
@@ -229,7 +242,7 @@ pub fn run_member_instrumented(
         } => {
             let members = (0..shards)
                 .map(|s| {
-                    scenario_member_with(
+                    build(
                         member as u64 * DEVICE_ID_STRIDE + s as u64,
                         WireRemote::new(PermissiveTarget::new(), config.link),
                     )
@@ -243,6 +256,7 @@ pub fn run_member_instrumented(
                 kind,
                 compromised,
                 faulted,
+                degraded,
                 array,
                 shards,
                 &sink,
@@ -270,6 +284,7 @@ fn run_on<D: FaultTarget>(
     kind: MemberKind,
     compromised: bool,
     faulted: bool,
+    degraded: bool,
     device: D,
     shards: usize,
     sink: &SinkHandle,
@@ -287,11 +302,26 @@ fn run_on<D: FaultTarget>(
         device.page_size(),
     );
     profiler.exit();
-    let schedule = if faulted {
+    let mut schedule = if faulted {
         FaultSchedule::seeded(mseed, records.len() as u64, shards)
     } else {
         FaultSchedule::none()
     };
+    if degraded {
+        // The sustained outage: the uplink blacks out (refused offloads,
+        // no relay) for the middle ~30 % of the replay. Sealed segments
+        // ride the spill region; the health machine degrades and recovers.
+        let total = records.len() as u64;
+        let mut events = schedule.events().to_vec();
+        events.push(FaultEvent::PartitionStart {
+            at_op: 7 * total / 20,
+            mode: PartitionMode::Refuse,
+        });
+        events.push(FaultEvent::PartitionHeal {
+            at_op: 13 * total / 20,
+        });
+        schedule = FaultSchedule::new("degraded", events);
+    }
     profiler.enter("detect");
     let observations = observe_stream(&records, device.page_size());
     profiler.exit();
@@ -308,6 +338,7 @@ fn run_on<D: FaultTarget>(
                 ("profile", profile.name.to_string()),
                 ("compromised", compromised.to_string()),
                 ("faulted", faulted.to_string()),
+                ("degraded", degraded.to_string()),
                 ("records", records.len().to_string()),
             ],
         );
@@ -363,9 +394,14 @@ fn run_on<D: FaultTarget>(
                             remaining.clear();
                         }
                     }
-                    // A record aimed at a dead shard while running
-                    // degraded: skip it, like a stalled write.
+                    // A record aimed at a dead shard while the array runs
+                    // short-handed: skip it, like a stalled write.
                     DeviceError::ShardFailed { .. } => {}
+                    // Admission refusal under a saturated outage backlog:
+                    // the device protected its evidence by refusing the
+                    // write. Skip the record; the refusal is the measured
+                    // cost of the outage, not a harness failure.
+                    DeviceError::Stalled => {}
                     other => {
                         return Err(FleetError {
                             member,
@@ -417,17 +453,31 @@ fn run_on<D: FaultTarget>(
 
     // Sim-derived metrics only: wall clock must never enter the registry,
     // because the registry rides inside the deterministic outcome.
+    let offload = device.offload_totals();
     let mut metrics = MetricsRegistry::new();
     metrics.counter_add("member.runs", 1);
     metrics.counter_add("member.ops", replay.records);
     metrics.counter_add("member.interruptions", interruptions);
     metrics.counter_add("member.power_cuts", device.power_cut_count());
     metrics.counter_add("member.compromised", u64::from(compromised));
+    metrics.counter_add("member.degraded", u64::from(degraded));
     metrics.counter_add(
         "member.flagged",
         u64::from(analysis.verdict != Verdict::Benign),
     );
     metrics.gauge_max("detect.score.max", analysis.score);
+    // The offload health surface: how far the fleet's worst member
+    // degraded, and what the outage cost in durable staging and admission
+    // control. All sim-derived, so the determinism contract holds.
+    metrics.gauge_max(
+        "offload.health.max",
+        f64::from(offload.health_peak.severity()),
+    );
+    metrics.counter_add("offload.failures", offload.offload_failures);
+    metrics.counter_add("offload.segments_spilled", offload.segments_spilled);
+    metrics.counter_add("offload.spill_replayed", offload.spill_replayed);
+    metrics.counter_add("offload.throttled_writes", offload.throttled_writes);
+    metrics.counter_add("offload.throttle_penalty_ns", offload.throttle_penalty_ns);
     metrics.histogram_record("member.sim_end_ns", sim_end_ns);
     metrics.histogram_record("member.records_audited", audit.records.len() as u64);
 
@@ -439,6 +489,7 @@ fn run_on<D: FaultTarget>(
             profile: profile.name.to_string(),
             compromised,
             faulted,
+            degraded,
             verdict: analysis.verdict,
             detection_score: analysis.score,
             attack_class: analysis.attack_class.to_string(),
@@ -451,7 +502,7 @@ fn run_on<D: FaultTarget>(
         },
         nand: device.nand_totals(),
         ftl: device.ftl_totals(),
-        offload: device.offload_totals(),
+        offload,
         latency: device.latency_totals(),
         queues,
         replay,
@@ -647,6 +698,61 @@ mod tests {
         assert_eq!(outcome.scorecard.kind, "array3");
         assert!(outcome.nand.programs() > 0);
         assert!(outcome.offload.segments_offloaded > 0);
+    }
+
+    #[test]
+    fn degraded_member_spills_through_the_outage_and_recovers() {
+        let cfg = FleetConfig {
+            members: 8,
+            ops_per_member: 80,
+            outage_fraction: 1.0,
+            ..FleetConfig::default()
+        };
+        let id = (0..cfg.members)
+            .find(|&m| cfg.member_compromised(m) && cfg.member_kind(m) == MemberKind::Bare)
+            .expect("some bare member compromised");
+        assert!(cfg.member_degraded(id), "outage_fraction 1.0 degrades all");
+        let outcome = run_member(&cfg, id).unwrap();
+        assert!(outcome.scorecard.degraded);
+        assert!(
+            outcome.offload.offload_failures > 0,
+            "the blackout refused offload traffic: {:?}",
+            outcome.offload
+        );
+        assert!(
+            outcome.offload.segments_spilled > 0,
+            "sealed evidence staged durably during the outage: {:?}",
+            outcome.offload
+        );
+        assert_eq!(
+            outcome.offload.segments_offloaded, outcome.offload.segments_sealed,
+            "the backlog fully drained after heal"
+        );
+        assert!(outcome.scorecard.chain_verified, "outage must not fork");
+        assert_ne!(
+            outcome.scorecard.verdict,
+            Verdict::Benign,
+            "detection survives the degraded run"
+        );
+        assert!(
+            outcome.metrics.gauge("offload.health.max").unwrap_or(0.0) > 0.0,
+            "the health machine left Healthy during the blackout"
+        );
+    }
+
+    #[test]
+    fn degraded_members_leave_clean_members_untouched() {
+        // outage_fraction 0 must reproduce the exact pre-outage fleet
+        // behavior: same devices, same schedules, same bytes.
+        let cfg = small_config();
+        assert!((0..cfg.members).all(|m| !cfg.member_degraded(m)));
+        let a = run_member(&cfg, 0).unwrap();
+        let b = run_member(&cfg, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.offload.segments_spilled, 0);
+        // A healthy wire never degrades past Buffering (transient staging
+        // between seal and ack).
+        assert!(a.metrics.gauge("offload.health.max").unwrap() <= 1.0);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct FtlConfig {
     /// Reserved blocks GC may always draw on for migrations (so GC can make
     /// progress even when the host-visible pool is exhausted).
     pub gc_reserved_blocks: u32,
+    /// Blocks reserved (from the top of the block range) as a durable
+    /// evidence-spill region. They never enter the allocator's free pool,
+    /// are never GC victims, and hold sealed segment images staged while
+    /// the remote is unreachable. Zero disables the region.
+    pub spill_blocks: u32,
 }
 
 impl Default for FtlConfig {
@@ -52,6 +57,7 @@ impl Default for FtlConfig {
             gc_high_watermark: 0.16,
             gc_policy: GcPolicy::Greedy,
             gc_reserved_blocks: 2,
+            spill_blocks: 0,
         }
     }
 }

@@ -14,6 +14,11 @@ use rssd_obs::SinkHandle;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
+/// Marks the first page of a spill-region entry.
+const SPILL_MAGIC: u64 = 0x5253_5344_5350_4C31; // "RSSDSPL1"
+/// Bytes of spill-entry header preceding the payload: magic + length.
+const SPILL_HEADER_BYTES: usize = 16;
+
 /// Why a physical page became stale.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum InvalidateCause {
@@ -122,6 +127,12 @@ pub struct Ftl {
     stale_events: VecDeque<StaleEvent>,
     stats: FtlStats,
     logical_pages: u64,
+    /// Reserved spill blocks (highest block indices), ascending. Removed
+    /// from the allocator pool at construction so they are never host/GC
+    /// targets and never GC victims.
+    spill_blocks: Vec<u32>,
+    /// Pages of the spill region already programmed (append cursor).
+    spill_cursor: u64,
     sink: SinkHandle,
 }
 
@@ -134,11 +145,29 @@ impl Ftl {
     pub fn new(nand: NandArray, config: FtlConfig) -> Self {
         config.validate().expect("invalid FtlConfig");
         let geometry = nand.geometry();
-        let logical_pages =
-            (geometry.total_pages() as f64 * (1.0 - config.over_provisioning)) as u64;
+        let total_blocks = geometry.total_blocks();
+        assert!(
+            config.spill_blocks < total_blocks / 2,
+            "spill_blocks {} must leave most of the device ({total_blocks} blocks) to the host",
+            config.spill_blocks
+        );
+        // Spill blocks come off the top of the block range, deterministically:
+        // identical configs reserve identical physical blocks, which keeps
+        // host placement (and therefore chain-MAC'd old_page_index values)
+        // independent of whether a spill ever happens.
+        let spill_blocks: Vec<u32> = (total_blocks - config.spill_blocks..total_blocks).collect();
+        let spill_pages = spill_blocks.len() as u64 * u64::from(geometry.pages_per_block);
+        let host_pages = geometry.total_pages() - spill_pages;
+        let logical_pages = (host_pages as f64 * (1.0 - config.over_provisioning)) as u64;
+        let mut allocator = BlockAllocator::new(geometry);
+        for &b in &spill_blocks {
+            allocator.retire_block(b);
+        }
         Ftl {
             mapping: MappingTable::new(geometry, logical_pages),
-            allocator: BlockAllocator::new(geometry),
+            allocator,
+            spill_blocks,
+            spill_cursor: 0,
             pinned: HashSet::new(),
             pinned_per_block: vec![0; geometry.total_blocks() as usize],
             last_invalidate_ns: vec![0; geometry.total_blocks() as usize],
@@ -233,16 +262,44 @@ impl Ftl {
     ///
     /// Same conditions as [`Self::write`].
     pub fn write_async(&mut self, lpa: u64, data: Vec<u8>) -> Result<OpTicket, FtlError> {
-        self.check_lpa(lpa)?;
+        self.write_async_reclaim(lpa, data).map_err(|(e, _)| e)
+    }
+
+    /// [`Self::write_async`], but on failure the error comes back with the
+    /// untouched payload whenever the write never reached the flash
+    /// pipelines (`DeviceFull`, bad arguments). The device layer's
+    /// backpressure loop re-submits that same buffer after evicting pins
+    /// instead of cloning the payload up front on every attempt.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::write`]; the payload is `None` only when
+    /// the NAND consumed it before failing.
+    #[allow(clippy::type_complexity)]
+    pub fn write_async_reclaim(
+        &mut self,
+        lpa: u64,
+        data: Vec<u8>,
+    ) -> Result<OpTicket, (FtlError, Option<Vec<u8>>)> {
+        if let Err(e) = self.check_lpa(lpa) {
+            return Err((e, Some(data)));
+        }
         if data.len() != self.geometry.page_size {
-            return Err(FtlError::WrongPageSize {
-                got: data.len(),
-                expected: self.geometry.page_size,
-            });
+            let got = data.len();
+            return Err((
+                FtlError::WrongPageSize {
+                    got,
+                    expected: self.geometry.page_size,
+                },
+                Some(data),
+            ));
         }
         self.run_background_gc();
-        let ppa = self.acquire_host_page()?;
-        let (_, ticket) = self.nand.program_async(
+        let ppa = match self.acquire_host_page() {
+            Ok(ppa) => ppa,
+            Err(e) => return Err((e, Some(data))),
+        };
+        let (_, ticket) = match self.nand.program_async(
             ppa,
             data,
             PageOob {
@@ -250,7 +307,10 @@ impl Ftl {
                 timestamp_ns: 0,
                 seq: 0,
             },
-        )?;
+        ) {
+            Ok(r) => r,
+            Err(e) => return Err((FtlError::Nand(e), None)),
+        };
         self.stats.host_pages_written += 1;
         if let Some(old) = self.mapping.update(lpa, ppa) {
             self.emit_stale(lpa, old, InvalidateCause::Overwrite);
@@ -384,6 +444,127 @@ impl Ftl {
     pub fn pinned_block_fraction(&self) -> f64 {
         let pinned_blocks = self.pinned_per_block.iter().filter(|&&c| c > 0).count();
         pinned_blocks as f64 / self.geometry.total_blocks() as f64
+    }
+
+    /// Physical page at `page_off` pages into the spill region.
+    fn spill_ppa(&self, page_off: u64) -> Ppa {
+        let ppb = u64::from(self.geometry.pages_per_block);
+        let block = self.spill_blocks[(page_off / ppb) as usize];
+        self.geometry
+            .block_to_ppa(block)
+            .with_page((page_off % ppb) as u32)
+    }
+
+    /// Total capacity of the reserved spill region, in bytes.
+    pub fn spill_capacity_bytes(&self) -> u64 {
+        self.spill_blocks.len() as u64
+            * u64::from(self.geometry.pages_per_block)
+            * self.geometry.page_size as u64
+    }
+
+    /// Bytes of the spill region already programmed (page granularity).
+    pub fn spill_used_bytes(&self) -> u64 {
+        self.spill_cursor * self.geometry.page_size as u64
+    }
+
+    /// Appends one sealed entry to the spill region. The entry is laid out
+    /// page-aligned: `[magic u64][len u64][payload…]`, padded to whole
+    /// pages. Programs are dispatched onto the flash pipelines without
+    /// advancing the clock (the spill is a background staging write), so
+    /// spilling is timeline-neutral for the foreground workload.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::DeviceFull`] when the region cannot hold the entry
+    /// (nothing is written); NAND errors propagate.
+    pub fn spill_append(&mut self, payload: &[u8]) -> Result<(), FtlError> {
+        let page_size = self.geometry.page_size;
+        let total = SPILL_HEADER_BYTES + payload.len();
+        let pages_needed = total.div_ceil(page_size) as u64;
+        let capacity_pages =
+            self.spill_blocks.len() as u64 * u64::from(self.geometry.pages_per_block);
+        if self.spill_cursor + pages_needed > capacity_pages {
+            return Err(FtlError::DeviceFull);
+        }
+        let mut image = vec![0u8; pages_needed as usize * page_size];
+        image[..8].copy_from_slice(&SPILL_MAGIC.to_le_bytes());
+        image[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        image[SPILL_HEADER_BYTES..SPILL_HEADER_BYTES + payload.len()].copy_from_slice(payload);
+        for (i, chunk) in image.chunks(page_size).enumerate() {
+            let ppa = self.spill_ppa(self.spill_cursor + i as u64);
+            let _ = self.nand.program_async(
+                ppa,
+                chunk.to_vec(),
+                PageOob {
+                    lpa: u64::MAX,
+                    timestamp_ns: 0,
+                    seq: 0,
+                },
+            )?;
+        }
+        self.spill_cursor += pages_needed;
+        Ok(())
+    }
+
+    /// Scans the spill region from the start and returns every intact entry
+    /// in append order. Used by crash recovery: the scan reads what is
+    /// physically on the NAND (zero-cost background reads) and repositions
+    /// the append cursor past the last intact entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAND read errors on programmed pages.
+    pub fn spill_scan(&mut self) -> Result<Vec<Vec<u8>>, FtlError> {
+        let page_size = self.geometry.page_size;
+        let capacity_pages =
+            self.spill_blocks.len() as u64 * u64::from(self.geometry.pages_per_block);
+        let mut entries = Vec::new();
+        let mut cursor = 0u64;
+        while cursor < capacity_pages {
+            let head_ppa = self.spill_ppa(cursor);
+            if self.nand.peek_oob(head_ppa)?.is_none() {
+                break;
+            }
+            let (head, _) = self.nand.read_background(head_ppa)?;
+            let magic = u64::from_le_bytes(head[..8].try_into().expect("page >= 16 bytes"));
+            if magic != SPILL_MAGIC {
+                break;
+            }
+            let len =
+                u64::from_le_bytes(head[8..16].try_into().expect("page >= 16 bytes")) as usize;
+            let pages_needed = (SPILL_HEADER_BYTES + len).div_ceil(page_size) as u64;
+            if cursor + pages_needed > capacity_pages {
+                break;
+            }
+            let mut image = head;
+            for i in 1..pages_needed {
+                let (data, _) = self.nand.read_background(self.spill_ppa(cursor + i))?;
+                image.extend_from_slice(&data);
+            }
+            entries.push(image[SPILL_HEADER_BYTES..SPILL_HEADER_BYTES + len].to_vec());
+            cursor += pages_needed;
+        }
+        self.spill_cursor = cursor;
+        Ok(entries)
+    }
+
+    /// Erases every spill block that holds data and resets the append
+    /// cursor. Called once the staged backlog has fully drained to the
+    /// remote (the spilled images are durable there now).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAND erase errors.
+    pub fn spill_reset(&mut self) -> Result<(), FtlError> {
+        let ppb = u64::from(self.geometry.pages_per_block);
+        let used_blocks = self.spill_cursor.div_ceil(ppb) as usize;
+        for &block in self.spill_blocks.iter().take(used_blocks) {
+            let _ = self
+                .nand
+                .erase_block_async(self.geometry.block_to_ppa(block))?;
+        }
+        self.spill_cursor = 0;
+        Ok(())
     }
 
     /// Runs GC passes until the free pool recovers above the high watermark
@@ -788,6 +969,108 @@ mod tests {
         ftl.read(0).unwrap();
         assert_eq!(ftl.stats().host_pages_written, 1);
         assert_eq!(ftl.stats().host_pages_read, 1);
+    }
+
+    fn spill_ftl() -> Ftl {
+        let nand = NandArray::with_clock(
+            FlashGeometry::small_test(),
+            NandTiming::instant(),
+            SimClock::new(),
+        );
+        Ftl::new(
+            nand,
+            FtlConfig {
+                spill_blocks: 2,
+                ..FtlConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn spill_round_trip_scan_and_reset() {
+        let mut ftl = spill_ftl();
+        assert!(ftl.spill_capacity_bytes() > 0);
+        assert_eq!(ftl.spill_used_bytes(), 0);
+        let a = vec![0xA5u8; 100]; // sub-page entry
+        let b: Vec<u8> = (0..9000).map(|i| (i % 251) as u8).collect(); // multi-page
+        ftl.spill_append(&a).unwrap();
+        ftl.spill_append(&b).unwrap();
+        assert!(ftl.spill_used_bytes() > 0);
+        assert_eq!(ftl.spill_scan().unwrap(), vec![a.clone(), b.clone()]);
+        // Scanning is idempotent and the cursor stays past the entries.
+        let used = ftl.spill_used_bytes();
+        assert_eq!(ftl.spill_scan().unwrap().len(), 2);
+        assert_eq!(ftl.spill_used_bytes(), used);
+        ftl.spill_reset().unwrap();
+        assert_eq!(ftl.spill_used_bytes(), 0);
+        assert!(ftl.spill_scan().unwrap().is_empty());
+        // Region is reusable after the erase.
+        ftl.spill_append(&a).unwrap();
+        assert_eq!(ftl.spill_scan().unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn spill_append_is_clock_neutral_and_survives_host_gc_churn() {
+        let mut ftl = spill_ftl();
+        let before_ns = ftl.clock().now_ns();
+        ftl.spill_append(&[7u8; 5000]).unwrap();
+        assert_eq!(ftl.clock().now_ns(), before_ns);
+        // Heavy host churn with GC must never touch the spill region.
+        for round in 0..200u32 {
+            for lpa in 0..8u64 {
+                ftl.write(lpa, page((round % 251) as u8)).unwrap();
+            }
+        }
+        assert!(ftl.stats().gc_blocks_erased > 0, "GC should have run");
+        assert_eq!(ftl.spill_scan().unwrap(), vec![vec![7u8; 5000]]);
+    }
+
+    #[test]
+    fn spill_full_rejects_without_partial_write() {
+        let mut ftl = spill_ftl();
+        let capacity = ftl.spill_capacity_bytes() as usize;
+        let oversized = vec![1u8; capacity]; // header pushes it past capacity
+        assert_eq!(ftl.spill_append(&oversized), Err(FtlError::DeviceFull));
+        assert_eq!(ftl.spill_used_bytes(), 0);
+        assert!(ftl.spill_scan().unwrap().is_empty());
+    }
+
+    #[test]
+    fn spill_region_shrinks_logical_capacity() {
+        let plain = small_ftl();
+        let spilled = spill_ftl();
+        assert!(spilled.logical_pages() < plain.logical_pages());
+        assert!(spilled.logical_pages() > 0);
+    }
+
+    #[test]
+    fn write_async_reclaim_returns_payload_on_device_full() {
+        let mut ftl = small_ftl();
+        let logical = ftl.logical_pages();
+        for lpa in 0..logical {
+            ftl.write(lpa, page(1)).unwrap();
+        }
+        // Pin every stale page so reclamation is impossible.
+        let mut hit_full = false;
+        'outer: for lpa in 0..logical {
+            match ftl.write_async_reclaim(lpa, page(2)) {
+                Ok(ticket) => {
+                    ftl.clock().advance_to(ticket.done_ns);
+                }
+                Err((FtlError::DeviceFull, reclaimed)) => {
+                    assert_eq!(reclaimed, Some(page(2)), "payload must come back intact");
+                    hit_full = true;
+                    break 'outer;
+                }
+                Err((e, _)) => panic!("unexpected error {e}"),
+            }
+            for ev in ftl.drain_stale_events() {
+                if ev.cause == InvalidateCause::Overwrite {
+                    ftl.pin_page(ev.ppa);
+                }
+            }
+        }
+        assert!(hit_full, "pinning every stale page must exhaust the device");
     }
 
     #[test]

@@ -216,6 +216,9 @@ pub struct TransferStats {
     pub acks: u64,
     /// Payload bytes delivered (goodput).
     pub payload_bytes: u64,
+    /// Timeout rounds that waited out an RTO (each wait doubles within a
+    /// transfer, capped, and resets on progress or a new transfer).
+    pub rto_timeouts: u64,
 }
 
 /// The device↔remote NVMe-oE fabric: both NICs, both link directions, and
@@ -232,7 +235,12 @@ pub struct NvmeOeEndpoint {
     to_remote: SharedLink,
     to_device: SimLink,
     next_seq: u64,
+    /// Initial retransmission timeout, used until the first RTT sample.
     rto_ns: u64,
+    /// Smoothed round-trip time (RFC 6298). Zero until the first sample.
+    srtt_ns: u64,
+    /// Round-trip time variance (RFC 6298).
+    rttvar_ns: u64,
     stats: TransferStats,
     /// Trace sink for `link_loss` / `retransmission` instants on the
     /// `wire/uplink` track. Disabled by default.
@@ -240,8 +248,19 @@ pub struct NvmeOeEndpoint {
 }
 
 impl NvmeOeEndpoint {
-    /// Default retransmission timeout.
+    /// Default *initial* retransmission timeout, in force until the RTT
+    /// estimator takes its first sample.
     pub const DEFAULT_RTO_NS: u64 = 2_000_000; // 2 ms
+    /// Floor for the adaptive RTO once RTT samples exist — a fast fabric
+    /// may recover far quicker than the conservative initial timeout.
+    pub const MIN_RTO_NS: u64 = 100_000; // 100 us
+    /// Ceiling for the adaptive RTO and for exponential backoff.
+    pub const MAX_RTO_NS: u64 = 512_000_000; // 512 ms
+    /// Simulated clock granularity `G` in `SRTT + max(G, 4·RTTVAR)`.
+    const RTO_GRANULARITY_NS: u64 = 1_000; // 1 us
+    /// Backoff doublings are capped at this shift (further stall rounds
+    /// wait the same capped interval).
+    const MAX_BACKOFF_SHIFT: u32 = 6;
 
     /// Builds a fabric over symmetric links with `config` (a private
     /// uplink; see [`NvmeOeEndpoint::with_uplink`] for a shared one).
@@ -262,6 +281,8 @@ impl NvmeOeEndpoint {
             to_device: SimLink::new(return_config),
             next_seq: 0,
             rto_ns: Self::DEFAULT_RTO_NS,
+            srtt_ns: 0,
+            rttvar_ns: 0,
             stats: TransferStats::default(),
             sink: SinkHandle::disabled(),
         }
@@ -276,9 +297,49 @@ impl NvmeOeEndpoint {
         self.sink = sink;
     }
 
-    /// Overrides the retransmission timeout.
+    /// Overrides the initial retransmission timeout and resets the RTT
+    /// estimator (the caller is asserting new link characteristics).
     pub fn set_rto_ns(&mut self, rto_ns: u64) {
         self.rto_ns = rto_ns.max(1);
+        self.srtt_ns = 0;
+        self.rttvar_ns = 0;
+    }
+
+    /// The retransmission timeout currently in force: the configured
+    /// initial RTO until the first RTT sample, then the RFC 6298 estimate
+    /// `SRTT + max(G, 4·RTTVAR)` clamped to
+    /// [[`Self::MIN_RTO_NS`], [`Self::MAX_RTO_NS`]].
+    pub fn current_rto_ns(&self) -> u64 {
+        if self.srtt_ns == 0 {
+            self.rto_ns
+        } else {
+            (self.srtt_ns + Self::RTO_GRANULARITY_NS.max(4 * self.rttvar_ns))
+                .clamp(Self::MIN_RTO_NS, Self::MAX_RTO_NS)
+        }
+    }
+
+    /// Smoothed round-trip time (zero until the first sample).
+    pub fn srtt_ns(&self) -> u64 {
+        self.srtt_ns
+    }
+
+    /// Round-trip time variance.
+    pub fn rttvar_ns(&self) -> u64 {
+        self.rttvar_ns
+    }
+
+    /// Feeds one RTT measurement into the RFC 6298 estimator.
+    fn take_rtt_sample(&mut self, rtt_ns: u64) {
+        let rtt = rtt_ns.max(1); // zero is the "no sample yet" sentinel
+        if self.srtt_ns == 0 {
+            self.srtt_ns = rtt;
+            self.rttvar_ns = rtt / 2;
+        } else {
+            // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − RTT|, then
+            // SRTT = 7/8·SRTT + 1/8·RTT (order per the RFC).
+            self.rttvar_ns = (3 * self.rttvar_ns + self.srtt_ns.abs_diff(rtt)) / 4;
+            self.srtt_ns = (7 * self.srtt_ns + rtt) / 8;
+        }
     }
 
     /// Takes both link directions down (`true`) or restores them
@@ -343,9 +404,11 @@ impl NvmeOeEndpoint {
     ///
     /// A retransmission round makes *progress* when it delivers at least
     /// one new fragment or the completing cumulative ack. After
-    /// `max_stall_rounds` consecutive rounds without progress (each waiting
-    /// out one RTO), the sender gives up with [`TransferStalled`] — the
-    /// segment is **not** delivered and the caller still owns the payload.
+    /// `max_stall_rounds` consecutive rounds without progress — each
+    /// waiting out the adaptive RTO ([`Self::current_rto_ns`]), doubled
+    /// per consecutive timeout up to [`Self::MAX_RTO_NS`] — the sender
+    /// gives up with [`TransferStalled`]: the segment is **not** delivered
+    /// and the caller still owns the payload.
     ///
     /// # Errors
     ///
@@ -385,6 +448,10 @@ impl NvmeOeEndpoint {
         let mut t = now_ns;
         let mut round = 0u32;
         let mut stall_rounds = 0u32;
+        // Exponential backoff across this transfer's timeout rounds. Reset
+        // per transfer and on progress — a healed link pays the adaptive
+        // RTO, not a backoff inherited from an earlier blackout.
+        let mut backoff_shift = 0u32;
 
         while received.iter().any(Option::is_none) {
             // One round: pipeline every missing fragment.
@@ -463,16 +530,27 @@ impl NvmeOeEndpoint {
             match ack_arrival {
                 Some(ack_arrival) if complete => {
                     self.stats.acks += 1;
+                    // Karn's rule: only an unambiguous exchange — completed
+                    // in the very first round, with no retransmission in
+                    // flight — may update the RTT estimator.
+                    if round == 0 {
+                        self.take_rtt_sample(ack_arrival.saturating_sub(now_ns));
+                    }
                     t = ack_arrival;
                 }
                 _ => {
-                    // Lost fragments or lost ack: wait out the RTO.
-                    t = last_arrival.max(t) + self.rto_ns;
+                    // Lost fragments or lost ack: wait out the adaptive
+                    // RTO, doubling (capped) each consecutive timeout.
+                    let wait = (self.current_rto_ns() << backoff_shift).min(Self::MAX_RTO_NS);
+                    t = last_arrival.max(t) + wait;
+                    backoff_shift = (backoff_shift + 1).min(Self::MAX_BACKOFF_SHIFT);
+                    self.stats.rto_timeouts += 1;
                 }
             }
             round += 1;
             if progressed {
                 stall_rounds = 0;
+                backoff_shift = 0;
             } else {
                 stall_rounds += 1;
                 if stall_rounds >= max_stall_rounds {
@@ -715,6 +793,87 @@ mod tests {
             uplink.frames_offered(),
             a.stats().capsules_sent + b.stats().capsules_sent
         );
+    }
+
+    #[test]
+    fn adaptive_rto_learns_from_clean_exchanges() {
+        let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+        assert_eq!(fabric.current_rto_ns(), NvmeOeEndpoint::DEFAULT_RTO_NS);
+        assert_eq!(fabric.srtt_ns(), 0);
+        let mut t = 0;
+        for seq in 0..4 {
+            let (done, _) = fabric.transfer_segment(seq, Bytes::from(vec![7u8; 4_000]), t);
+            t = done;
+        }
+        assert!(fabric.srtt_ns() > 0, "clean exchanges must be sampled");
+        let rto = fabric.current_rto_ns();
+        assert!(
+            rto < NvmeOeEndpoint::DEFAULT_RTO_NS,
+            "a microsecond-RTT fabric must shrink the 2 ms initial RTO, got {rto}"
+        );
+        assert!(rto >= NvmeOeEndpoint::MIN_RTO_NS);
+    }
+
+    #[test]
+    fn karns_rule_skips_ambiguous_samples() {
+        // 33% loss forces retransmission rounds: every completing ack is
+        // ambiguous (which copy does it acknowledge?), so the estimator
+        // must not learn from this transfer at all.
+        let mut fabric = NvmeOeEndpoint::new(LinkConfig::lossy(3));
+        let payload = Bytes::from(vec![5u8; 100_000]);
+        let (_, delivered) = fabric.transfer_segment(1, payload.clone(), 0);
+        assert_eq!(delivered, payload);
+        assert!(fabric.stats().retransmissions > 0);
+        assert_eq!(
+            fabric.srtt_ns(),
+            0,
+            "retransmitted transfers must not feed the RTT estimator"
+        );
+        assert_eq!(fabric.current_rto_ns(), NvmeOeEndpoint::DEFAULT_RTO_NS);
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_within_a_transfer_and_resets_between() {
+        let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+        fabric.set_link_down(true);
+        // Three no-progress rounds at base RTO r wait r + 2r + 4r = 7r.
+        let r0 = fabric.current_rto_ns();
+        let err = fabric
+            .try_transfer_segment(1, Bytes::from(vec![1u8; 64]), 0, 3)
+            .unwrap_err();
+        assert_eq!(err.gave_up_at_ns, 7 * r0, "capped exponential backoff");
+        assert_eq!(fabric.stats().rto_timeouts, 3);
+
+        // Heal, let the estimator learn the real (fast) RTT...
+        fabric.set_link_down(false);
+        let (t, _) = fabric
+            .try_transfer_segment(1, Bytes::from(vec![1u8; 64]), err.gave_up_at_ns, 2)
+            .unwrap();
+        assert!(fabric.srtt_ns() > 0);
+
+        // ...then a fresh blackout: the backoff restarts from the *current*
+        // adaptive RTO — nothing leaks from the earlier stall.
+        fabric.set_link_down(true);
+        let r1 = fabric.current_rto_ns();
+        assert!(r1 < r0, "adaptive RTO shrank after clean samples");
+        let err2 = fabric
+            .try_transfer_segment(2, Bytes::from(vec![2u8; 64]), t, 3)
+            .unwrap_err();
+        assert_eq!(err2.gave_up_at_ns - t, 7 * r1, "per-transfer backoff reset");
+    }
+
+    #[test]
+    fn backoff_wait_is_capped() {
+        let mut fabric = NvmeOeEndpoint::new(LinkConfig::datacenter_10g());
+        fabric.set_link_down(true);
+        // Enough stall rounds to exceed MAX_BACKOFF_SHIFT: the waits grow
+        // 1,2,4,…,64× and then stay flat; total time stays bounded by
+        // rounds × MAX_RTO_NS rather than doubling forever.
+        let err = fabric
+            .try_transfer_segment(1, Bytes::from(vec![3u8; 64]), 0, 20)
+            .unwrap_err();
+        assert_eq!(err.stall_rounds, 20);
+        assert!(err.gave_up_at_ns <= 20 * NvmeOeEndpoint::MAX_RTO_NS);
     }
 
     #[test]

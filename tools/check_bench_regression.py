@@ -20,8 +20,11 @@ links pay in retransmissions, recovery-window integrity holds on every
 link), and BENCH_fleet.json's fleet-scale surface (simulated results
 byte-identical across worker counts, detection recall and zero false
 positives at every fleet size, a sim-throughput floor at 256 members, and
-core-aware worker-pool scaling), so the artifacts uploaded by CI are
-never regressed ones.
+core-aware worker-pool scaling), and BENCH_degradation.json's offload
+health slope (Throttled throughput strictly between Stalled and Healthy
+and >= 25% of it, post-heal drain completes, zero evidence loss across
+outage and crash), so the artifacts uploaded by CI are never regressed
+ones.
 """
 
 import json
@@ -268,9 +271,69 @@ def check_fleet() -> list[str]:
     return failures
 
 
+def check_degradation() -> list[str]:
+    rows = load_rows("BENCH_degradation.json")
+    failures = []
+    expected = ("healthy", "buffering_ramp", "throttled", "stalled", "drain",
+                "crash_replay")
+    for config in expected:
+        if config not in rows:
+            failures.append(f"{config}: row missing from BENCH_degradation.json")
+    if failures:
+        return failures
+
+    # Admission control is a slope, not a cliff: Throttled throughput sits
+    # strictly between Stalled and Healthy, and a throttled device is still
+    # a useful device (>= 25% of healthy).
+    healthy = rows["healthy"]["write_kiops"]
+    throttled = rows["throttled"]["write_kiops"]
+    stalled = rows["stalled"]["write_kiops"]
+    if not stalled < throttled < healthy:
+        failures.append(
+            f"throttled throughput must sit strictly between stalled and "
+            f"healthy (stalled {stalled:.2f} < throttled {throttled:.2f} < "
+            f"healthy {healthy:.2f} kIOPS violated)")
+    if throttled < 0.25 * healthy:
+        failures.append(
+            f"throttled throughput {throttled:.2f} kIOPS < 25% of healthy "
+            f"{healthy:.2f} kIOPS - the admission penalty has become a cliff")
+    if rows["stalled"]["refused"] <= 0:
+        failures.append("stalled: zero refusals - the Stalled state is not "
+                        "refusing writes")
+    if rows["throttled"]["refused"] != 0:
+        failures.append("throttled: writes were refused - the refusal cliff "
+                        "belongs to Stalled only")
+
+    # The post-heal drain completes: no staged backlog, no spill residue,
+    # every sealed segment acknowledged.
+    drain = rows["drain"]
+    if drain["drain_complete"] != 1.0:
+        failures.append("drain: post-heal drain did not complete")
+    if drain["staged_after"] != 0.0 or drain["spill_bytes_after"] != 0.0:
+        failures.append(
+            f"drain: residue after heal (staged {drain['staged_after']:.0f}, "
+            f"spill bytes {drain['spill_bytes_after']:.0f})")
+    if drain["segments_spilled"] <= 0:
+        failures.append("drain: the outage never exercised the spill region")
+
+    # Zero evidence loss, outage, crash and all.
+    for config in ("drain", "crash_replay"):
+        row = rows[config]
+        if row["evidence_loss_segments"] != 0.0:
+            failures.append(
+                f"{config}: {row['evidence_loss_segments']:.0f} sealed "
+                "segments never reached the remote - evidence lost")
+        if row["chain_verified"] != 1.0:
+            failures.append(f"{config}: evidence chain does not verify")
+    if rows["crash_replay"]["spill_replayed"] <= 0:
+        failures.append("crash_replay: recovery did not replay the spill "
+                        "region")
+    return failures
+
+
 def main() -> None:
     failures = (check_qd_sweep() + check_array_scaling() + check_offload_wire()
-                + check_fleet() + check_profile())
+                + check_fleet() + check_profile() + check_degradation())
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}")
@@ -280,7 +343,9 @@ def main() -> None:
           "QD32 host-throughput floor holds, wire physics hold, "
           "recovery survives every link, fleet deterministic across "
           "workers, sim-throughput floor holds, host profiles partition "
-          "their spans, wire phase under its ceiling)")
+          "their spans, wire phase under its ceiling, degradation slope "
+          "ordered with throttled >= 25% of healthy, post-heal drain "
+          "complete, zero evidence loss)")
 
 
 if __name__ == "__main__":
